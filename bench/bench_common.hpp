@@ -1,0 +1,77 @@
+// Shared helpers for the figure/table reproduction harnesses.
+//
+// Each bench_figNN binary regenerates one figure of the paper's evaluation
+// (Sec. 4.3): it runs the experiment, writes the plotted series as CSV next
+// to the binary (bench_out/), and prints a compact summary including the
+// check the figure is meant to support.
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "analysis/trace.hpp"
+#include "core/masking_pipeline.hpp"
+#include "sim/pipeline.hpp"
+
+namespace emask::bench {
+
+// The classic FIPS worked-example inputs, used throughout the paper-style
+// experiments.
+inline constexpr std::uint64_t kKey = 0x133457799BBCDFF1ull;
+// "two different secret keys (vary in bit 1)": the paper flips one key bit.
+// FIPS bit 1 is a parity bit the algorithm ignores, so we flip bit 2 (the
+// first effective bit) — the earliest position with observable effect.
+inline constexpr std::uint64_t kKeyBitFlipped = kKey ^ (1ull << 62);
+inline constexpr std::uint64_t kPlain = 0x0123456789ABCDEFull;
+inline constexpr std::uint64_t kPlain2 = 0xFEDCBA9876543210ull;
+
+/// Output directory for CSV series (created on demand).
+inline std::string out_dir() {
+  const std::string dir = "bench_out";
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+/// Cycle numbers at which the instruction at text label `label` *retires*
+/// (one entry per execution; wrong-path fetches after taken branches do not
+/// count).  Used to locate program phases — e.g. the start of every DES
+/// round — on the trace's cycle axis.
+inline std::vector<std::uint64_t> label_fetch_cycles(
+    const assembler::Program& program, const std::string& label) {
+  const auto it = program.text_labels.find(label);
+  if (it == program.text_labels.end()) return {};
+  const std::uint32_t target = it->second;
+  std::vector<std::uint64_t> cycles;
+  sim::Pipeline p(program);
+  energy::CycleActivity a;
+  while (p.step(a)) {
+    if (a.retired && a.retire_pc == target) cycles.push_back(p.cycles());
+  }
+  return cycles;
+}
+
+/// [begin, end) cycle window of DES round `n` (1-based) for this program.
+struct Window {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+inline Window round_window(const assembler::Program& program, int n) {
+  const auto starts = label_fetch_cycles(program, "round_loop");
+  Window w;
+  if (static_cast<std::size_t>(n) <= starts.size()) {
+    w.begin = starts[static_cast<std::size_t>(n - 1)];
+    w.end = (static_cast<std::size_t>(n) < starts.size())
+                ? static_cast<std::size_t>(starts[static_cast<std::size_t>(n)])
+                : w.begin;
+  }
+  return w;
+}
+
+inline void print_banner(const char* id, const char* what) {
+  std::printf("== %s ==\n%s\n", id, what);
+}
+
+}  // namespace emask::bench

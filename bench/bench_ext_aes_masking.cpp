@@ -1,0 +1,120 @@
+// Extension I: AES-128 under the masking framework.
+//
+// AES is the stress test for the paper's *secure indexing* instruction:
+// every round makes 16 S-box and 12 xtime table lookups at secret-derived
+// addresses (plus 4 S-box lookups per key-expansion word).  This bench
+// reports the policy cost table for AES, mounts a classic first-round
+// CPA (Hamming weight of sbox(pt[b] ^ k[b]), 256 guesses) against the
+// unmasked device, and shows the masked device starve it.
+#include "analysis/generic_cpa.hpp"
+#include "aes/aes128.hpp"
+#include "aes/asm_generator.hpp"
+#include "bench_common.hpp"
+#include "compiler/masking.hpp"
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+
+using namespace emask;
+
+namespace {
+
+aes::Block random_block(util::Rng& rng) {
+  aes::Block b;
+  for (auto& x : b) x = static_cast<std::uint8_t>(rng.next_below(256));
+  return b;
+}
+
+std::vector<int> hypotheses_for(const aes::Block& pt, int byte_index) {
+  std::vector<int> h(256);
+  for (int g = 0; g < 256; ++g) {
+    h[static_cast<std::size_t>(g)] = std::popcount(static_cast<unsigned>(
+        aes::sbox(static_cast<std::uint8_t>(
+            pt[static_cast<std::size_t>(byte_index)] ^ g))));
+  }
+  return h;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner("Extension I",
+                      "AES-128: policy cost table and first-round CPA, "
+                      "unmasked vs masked.");
+  util::Rng rng(0xAE5);
+  const aes::Key key = {0x2B, 0x7E, 0x15, 0x16, 0x28, 0xAE, 0xD2, 0xA6,
+                        0xAB, 0xF7, 0x15, 0x88, 0x09, 0xCF, 0x4F, 0x3C};
+  const aes::Block pt0 = random_block(rng);
+  const std::string source = aes::generate_aes_asm(key, pt0);
+
+  // Policy cost table.
+  const compiler::Policy policies[] = {
+      compiler::Policy::kOriginal, compiler::Policy::kSelective,
+      compiler::Policy::kNaiveLoadStore, compiler::Policy::kAllSecure};
+  util::CsvWriter csv(bench::out_dir() + "/ext_aes_masking.csv");
+  csv.write_header({"policy", "total_uj", "ratio", "secured"});
+  double measured[4] = {};
+  std::printf("%-16s %12s %8s %9s %8s\n", "policy", "energy uJ", "ratio",
+              "secured", "cycles");
+  for (int p = 0; p < 4; ++p) {
+    const auto pipeline =
+        core::MaskingPipeline::from_source(source, policies[p]);
+    const auto run = pipeline.run_raw();
+    measured[p] = run.total_uj();
+    std::printf("%-16s %12.3f %8.3f %9zu %8llu\n",
+                compiler::policy_name(policies[p]).data(), measured[p],
+                measured[p] / measured[0],
+                pipeline.mask_result().secured_count,
+                static_cast<unsigned long long>(run.sim.cycles));
+    csv.write_row({static_cast<double>(p), measured[p],
+                   measured[p] / measured[0],
+                   static_cast<double>(pipeline.mask_result().secured_count)});
+  }
+
+  // Round-1 window on the cycle axis (policy-independent layout).
+  const auto layout =
+      core::MaskingPipeline::from_source(source, compiler::Policy::kOriginal);
+  const auto rounds = bench::label_fetch_cycles(layout.program(), "round_loop");
+  const std::size_t w_begin = rounds.empty() ? 0 : rounds[0];
+  const std::size_t w_end = rounds.size() > 1
+                                ? static_cast<std::size_t>(rounds[1])
+                                : w_begin + 2000;
+
+  // CPA on key byte 0 against both devices.
+  const int target_byte = 0;
+  const auto attack = [&](compiler::Policy policy, int traces) {
+    const auto device = core::MaskingPipeline::from_source(source, policy);
+    analysis::GenericCpa cpa(256, w_begin, w_end);
+    util::Rng prng(0xCAFE);
+    for (int i = 0; i < traces; ++i) {
+      const aes::Block pt = random_block(prng);
+      assembler::Program image = device.program();
+      aes::poke_plaintext(image, pt);
+      cpa.add_trace(hypotheses_for(pt, target_byte),
+                    device.run_image(image, w_end).trace);
+    }
+    return cpa.solve();
+  };
+
+  std::printf("\n-- first-round CPA on key byte 0 (window [%zu, %zu)) --\n",
+              w_begin, w_end);
+  const auto r_unmasked = attack(compiler::Policy::kOriginal, 300);
+  std::printf("unmasked, 300 traces: guess 0x%02X (truth 0x%02X), "
+              "|rho| = %.3f, margin %.2fx -> %s\n",
+              r_unmasked.best_guess, key[0], r_unmasked.best_corr,
+              r_unmasked.margin(),
+              r_unmasked.best_guess == key[0] ? "KEY BYTE RECOVERED"
+                                              : "not recovered");
+  const auto r_masked = attack(compiler::Policy::kSelective, 30);
+  std::printf("masked,    30 traces: best |rho| = %.6f (every round-1 cycle "
+              "has zero variance)\n",
+              r_masked.best_corr);
+
+  const double saving =
+      1.0 - (measured[1] - measured[0]) / (measured[3] - measured[0]);
+  std::printf("\nselective-vs-dual-rail overhead saving on AES: %.1f%% "
+              "(DES: 83.3%%, SHA-1: ~47%%)\n",
+              100.0 * saving);
+  return (r_unmasked.best_guess == key[0] && r_masked.best_corr == 0.0)
+             ? 0
+             : 1;
+}

@@ -1,0 +1,75 @@
+// Extension N: cache-timing ablation — power masking does not close
+// microarchitectural timing channels.
+//
+// The paper's device class runs cacheless from on-chip SRAM, and the whole
+// masking construction silently relies on it: with an ordinary data cache,
+// the S-box lookups' secret-derived addresses produce key-dependent
+// hit/miss patterns, so the *cycle count* itself leaks — through perfect
+// dual-rail power masking — exactly the cache-attack line of work
+// contemporary with the paper.  This bench adds a small D-cache to the
+// fully masked device and measures the reopened timing channel.
+#include <algorithm>
+#include <set>
+
+#include "bench_common.hpp"
+#include "compiler/masking.hpp"
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+
+using namespace emask;
+
+namespace {
+
+std::uint64_t cycles_with_cache(const core::MaskingPipeline& base,
+                                std::uint64_t key, std::uint64_t pt,
+                                bool with_cache) {
+  auto device = base;  // copy: independent sim config
+  sim::SimConfig config;
+  if (with_cache) {
+    sim::CacheConfig cache;
+    cache.size_bytes = 1024;
+    cache.line_bytes = 32;
+    cache.miss_penalty = 8;
+    config.dcache = cache;
+  }
+  device.set_sim_config(config);
+  return device.run_des(key, pt).sim.cycles;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner("Extension N",
+                      "Cache-timing ablation: a D-cache reopens a timing "
+                      "channel through the masked device.");
+  const auto masked = core::MaskingPipeline::des(compiler::Policy::kSelective);
+  util::Rng rng(0xCAC4E);
+
+  util::CsvWriter csv(bench::out_dir() + "/ext_cache_timing.csv");
+  csv.write_header({"key_index", "cacheless_cycles", "cached_cycles"});
+
+  std::printf("%8s %18s %18s\n", "key #", "cacheless cycles", "cached cycles");
+  std::set<std::uint64_t> cacheless_counts, cached_counts;
+  const std::uint64_t pt = bench::kPlain;
+  for (int i = 0; i < 8; ++i) {
+    const std::uint64_t key = rng.next_u64();
+    const std::uint64_t c0 = cycles_with_cache(masked, key, pt, false);
+    const std::uint64_t c1 = cycles_with_cache(masked, key, pt, true);
+    cacheless_counts.insert(c0);
+    cached_counts.insert(c1);
+    std::printf("%8d %18llu %18llu\n", i,
+                static_cast<unsigned long long>(c0),
+                static_cast<unsigned long long>(c1));
+    csv.write_row({static_cast<double>(i), static_cast<double>(c0),
+                   static_cast<double>(c1)});
+  }
+
+  std::printf("\ndistinct cycle counts over 8 keys: cacheless %zu, "
+              "cached %zu\n",
+              cacheless_counts.size(), cached_counts.size());
+  std::printf("the cacheless (paper-accurate) device is perfectly "
+              "constant-time;\nthe cached device's timing varies with the "
+              "key through the masked\nS-box lookups — a channel power "
+              "masking cannot close.\n");
+  return (cacheless_counts.size() == 1 && cached_counts.size() > 1) ? 0 : 1;
+}

@@ -1,0 +1,97 @@
+// Extension A: end-to-end DPA (difference-of-means, Kocher/Goubin) against
+// the simulated smart card — the attack the paper's countermeasure is built
+// to stop.  The paper's introduction describes the attacker using ~1000
+// sampled inputs; we sweep the trace budget and report when the 6-bit
+// round-1 subkey chunk is recovered on the unmasked device, and show the
+// selectively masked device yields zero signal at the full budget.
+#include "analysis/dpa.hpp"
+#include "bench_common.hpp"
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+
+using namespace emask;
+
+namespace {
+
+constexpr std::size_t kWindowBegin = 3000;
+constexpr std::size_t kWindowEnd = 13000;  // covers round 1
+
+struct Checkpoint {
+  std::size_t traces;
+  int best_guess;
+  double best_peak;
+  double margin;
+};
+
+std::vector<Checkpoint> attack(const core::MaskingPipeline& pipeline,
+                               std::uint64_t key, int sbox,
+                               const std::vector<std::size_t>& budgets) {
+  analysis::DpaConfig cfg;
+  cfg.sbox = sbox;
+  cfg.bit = 0;
+  cfg.window_begin = kWindowBegin;
+  cfg.window_end = kWindowEnd;
+  analysis::DpaAttack atk(cfg);
+  util::Rng rng(0xD9A);
+  std::vector<Checkpoint> out;
+  std::size_t done = 0;
+  for (const std::size_t budget : budgets) {
+    for (; done < budget; ++done) {
+      const std::uint64_t pt = rng.next_u64();
+      atk.add_trace(pt, pipeline.run_des(key, pt, kWindowEnd).trace);
+    }
+    const analysis::DpaResult r = atk.solve();
+    out.push_back({budget, r.best_guess, r.best_peak, r.margin()});
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner("Extension A",
+                      "Difference-of-means DPA on round-1 S-box 1: trace "
+                      "budget sweep, unmasked vs selectively masked.");
+  const std::uint64_t key = bench::kKey;
+  const int sbox = 0;
+  const int truth = analysis::DpaAttack::true_subkey_chunk(key, sbox);
+  const std::vector<std::size_t> budgets = {50, 100, 200, 400, 800};
+
+  const auto original =
+      core::MaskingPipeline::des(compiler::Policy::kOriginal);
+  const auto masked =
+      core::MaskingPipeline::des(compiler::Policy::kSelective);
+
+  std::printf("true subkey chunk (K1, S-box 1): %d\n\n", truth);
+  util::CsvWriter csv(bench::out_dir() + "/ext_dpa_attack.csv");
+  csv.write_header({"traces", "unmasked_guess", "unmasked_peak",
+                    "unmasked_margin", "unmasked_correct"});
+
+  std::printf("-- unmasked device --\n");
+  std::printf("%8s %8s %10s %8s %9s\n", "traces", "guess", "peak pJ",
+              "margin", "correct?");
+  bool recovered = false;
+  for (const Checkpoint& c : attack(original, key, sbox, budgets)) {
+    const bool ok = c.best_guess == truth;
+    recovered |= ok && c.traces == budgets.back();
+    std::printf("%8zu %8d %10.3f %8.2f %9s\n", c.traces, c.best_guess,
+                c.best_peak, c.margin, ok ? "YES" : "no");
+    csv.write_row({static_cast<double>(c.traces),
+                   static_cast<double>(c.best_guess), c.best_peak, c.margin,
+                   ok ? 1.0 : 0.0});
+  }
+
+  std::printf("\n-- selectively masked device --\n");
+  const auto masked_result =
+      attack(masked, key, sbox, {budgets.back()}).back();
+  std::printf("%8zu traces: best-guess DoM peak = %.6f pJ "
+              "(zero signal: every guess ties at the fp noise floor)\n",
+              masked_result.traces, masked_result.best_peak);
+
+  const bool masked_flat = masked_result.best_peak < 1e-9;
+  std::printf("\nunmasked key chunk recovered : %s\n",
+              recovered ? "YES" : "no");
+  std::printf("masked device leaks          : %s\n",
+              masked_flat ? "no (DPA defeated)" : "YES");
+  return (recovered && masked_flat) ? 0 : 1;
+}

@@ -1,0 +1,81 @@
+// Extension E: measurement-noise study.  The paper argues the simulator is
+// conservative ("the use of the simulator provides a far greater control of
+// the granularity of information than would be practically possible for a
+// hacker") and that random noise only raises the DPA sample count ("random
+// noises in power measurements can be filtered through the averaging
+// process using a large number of samples").  This bench quantifies that:
+// traces needed for DoM key recovery versus additive Gaussian noise.
+#include "analysis/cpa.hpp"
+#include "analysis/dpa.hpp"
+#include "bench_common.hpp"
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+
+using namespace emask;
+
+namespace {
+
+constexpr std::size_t kWinBegin = 3000;
+constexpr std::size_t kWinEnd = 13000;
+
+/// Returns the smallest checkpoint at which the attack first reports the
+/// correct chunk and keeps it through every later checkpoint (0 = never).
+/// Uses the Hamming-weight CPA engine (the stronger of the two attacks).
+std::size_t traces_to_disclosure(const core::MaskingPipeline& device,
+                                 double sigma_pj,
+                                 const std::vector<std::size_t>& checkpoints) {
+  const std::uint64_t key = bench::kKey;
+  const int truth = analysis::DpaAttack::true_subkey_chunk(key, 0);
+  analysis::CpaConfig cfg;
+  cfg.sbox = 0;
+  cfg.window_begin = kWinBegin;
+  cfg.window_end = kWinEnd;
+  analysis::CpaAttack attack(cfg);
+  analysis::NoiseModel noise(sigma_pj, 0xA0153 + static_cast<std::uint64_t>(
+                                                     sigma_pj * 1000));
+  util::Rng rng(0x5EED);
+  std::size_t done = 0;
+  std::size_t first_stable = 0;
+  for (const std::size_t budget : checkpoints) {
+    for (; done < budget; ++done) {
+      const std::uint64_t pt = rng.next_u64();
+      attack.add_trace(pt,
+                       noise.apply(device.run_des(key, pt, kWinEnd).trace));
+    }
+    const bool correct = attack.solve().best_guess == truth;
+    if (correct && first_stable == 0) first_stable = budget;
+    if (!correct) first_stable = 0;  // lost it again: not stable yet
+  }
+  return first_stable;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner("Extension E",
+                      "DPA traces-to-disclosure vs measurement noise "
+                      "(unmasked device; masked never discloses).");
+  const auto device = core::MaskingPipeline::des(compiler::Policy::kOriginal);
+  const std::vector<std::size_t> checkpoints = {100, 200, 400, 800, 1600};
+  const double sigmas[] = {0.0, 0.5, 1.0, 2.0};  // pJ per cycle
+  // (the per-cycle data-dependent signal is itself only ~0.3-3 pJ)
+
+  util::CsvWriter csv(bench::out_dir() + "/ext_noise_sweep.csv");
+  csv.write_header({"noise_sigma_pj", "traces_to_disclosure"});
+  std::printf("%14s %22s\n", "noise (pJ rms)", "traces to disclosure");
+  bool monotone_ok = true;
+  std::size_t prev = 0;
+  for (const double sigma : sigmas) {
+    const std::size_t n = traces_to_disclosure(device, sigma, checkpoints);
+    std::printf("%14.1f %22s\n", sigma,
+                n ? std::to_string(n).c_str() : ">1600");
+    csv.write_row({sigma, static_cast<double>(n)});
+    if (n == 0) continue;
+    if (prev != 0) monotone_ok &= n >= prev;
+    prev = n;
+  }
+  std::printf("\n(noise delays, but does not prevent, disclosure — the "
+              "paper's argument for circuit-level masking over noise "
+              "injection.)\n");
+  return monotone_ok ? 0 : 1;
+}

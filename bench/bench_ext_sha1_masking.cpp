@@ -1,0 +1,82 @@
+// Extension H: generality of the masking framework.
+//
+//   "Note that our approach is general and can be extended to other
+//    algorithms that need protection against current measurements based
+//    breaks."  (Sec. 1)
+//
+// Same compiler, same hardware, different kernel: the SHA-1 compression
+// function absorbing a secret block (the prefix-key MAC setting).  SHA-1's
+// Ch/Maj functions exercise the logic unit — DES never does — so this
+// experiment needs the secure and/nor extension of the ISA, and quantifies
+// the selective-vs-dual-rail saving on a second workload.
+#include "bench_common.hpp"
+#include "compiler/masking.hpp"
+#include "sha/asm_generator.hpp"
+#include "sha/sha1.hpp"
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+
+using namespace emask;
+
+int main() {
+  bench::print_banner("Extension H",
+                      "SHA-1 keyed compression under the four policies "
+                      "(the paper's generality claim).");
+  util::Rng rng(0x5A1);
+  std::array<std::uint32_t, 16> secret_block;
+  for (auto& w : secret_block) w = rng.next_u32();
+  const std::string source = sha::generate_sha1_asm(secret_block);
+
+  const compiler::Policy policies[] = {
+      compiler::Policy::kOriginal, compiler::Policy::kSelective,
+      compiler::Policy::kNaiveLoadStore, compiler::Policy::kAllSecure};
+
+  util::CsvWriter csv(bench::out_dir() + "/ext_sha1_masking.csv");
+  csv.write_header({"policy", "total_uj", "ratio", "secured"});
+
+  double measured[4] = {};
+  std::printf("%-16s %12s %8s %9s %8s\n", "policy", "energy uJ", "ratio",
+              "secured", "cycles");
+  for (int p = 0; p < 4; ++p) {
+    const auto pipeline =
+        core::MaskingPipeline::from_source(source, policies[p]);
+    const auto run = pipeline.run_raw();
+    measured[p] = run.total_uj();
+    std::printf("%-16s %12.3f %8.3f %9zu %8llu\n",
+                compiler::policy_name(policies[p]).data(), measured[p],
+                measured[p] / measured[0],
+                pipeline.mask_result().secured_count,
+                static_cast<unsigned long long>(run.sim.cycles));
+    csv.write_row({static_cast<double>(p), measured[p],
+                   measured[p] / measured[0],
+                   static_cast<double>(pipeline.mask_result().secured_count)});
+  }
+
+  // Leakage check: one secret bit flipped, selective masking, flat trace.
+  const auto masked =
+      core::MaskingPipeline::from_source(source, compiler::Policy::kSelective);
+  auto flipped = secret_block;
+  flipped[7] ^= 0x400u;
+  assembler::Program image = masked.program();
+  sha::poke_message(image, flipped);
+  const auto diff =
+      masked.run_raw().trace.difference(masked.run_image(image).trace);
+  const auto body = diff.slice(0, diff.size() - 100);
+
+  const double saving =
+      1.0 - (measured[1] - measured[0]) / (measured[3] - measured[0]);
+  std::printf("\nsecret-bit differential (masked, before digest output): "
+              "max |diff| = %.6f pJ\n",
+              body.max_abs());
+  std::printf("selective-vs-dual-rail overhead saving on SHA-1: %.1f%% "
+              "(DES: 83.3%%)\n",
+              100.0 * saving);
+  std::printf("(SHA-1 is secret-dependent nearly everywhere after the "
+              "message schedule, so the slice is necessarily larger than "
+              "DES's — the saving comes mostly from the public `-O0` "
+              "bookkeeping.)\n");
+  return (body.max_abs() == 0.0 && measured[0] < measured[1] &&
+          measured[1] < measured[3])
+             ? 0
+             : 1;
+}

@@ -1,0 +1,59 @@
+// Differential power analysis demo: play the attacker.
+//
+// Captures energy traces of the simulated smart card encrypting random
+// plaintexts under a fixed, *unknown* key, then runs the Kocher/Goubin
+// difference-of-means attack to recover a 6-bit chunk of round subkey K1 —
+// and repeats against the masked device, where the attack starves.
+//
+//   ./build/examples/dpa_attack_demo [num_traces]   (default 500)
+#include <cstdio>
+#include <cstdlib>
+
+#include "analysis/dpa.hpp"
+#include "core/masking_pipeline.hpp"
+#include "util/rng.hpp"
+
+using namespace emask;
+
+int main(int argc, char** argv) {
+  const int traces = argc > 1 ? std::atoi(argv[1]) : 500;
+  const std::uint64_t secret_key = 0x0E329232EA6D0D73ull;  // shh!
+  constexpr std::size_t kRoundOneEnd = 13000;
+
+  analysis::DpaConfig cfg;
+  cfg.sbox = 0;                    // target S-box 1 of round 1
+  cfg.bit = 0;                     // its most significant output bit
+  cfg.window_begin = 3000;
+  cfg.window_end = kRoundOneEnd;   // the attacker scopes round 1
+
+  std::printf("Capturing %d traces from the UNPROTECTED card...\n", traces);
+  const auto device = core::MaskingPipeline::des(compiler::Policy::kOriginal);
+  analysis::DpaAttack attack(cfg);
+  util::Rng rng(2026);
+  for (int i = 0; i < traces; ++i) {
+    const std::uint64_t pt = rng.next_u64();
+    attack.add_trace(pt, device.run_des(secret_key, pt, kRoundOneEnd).trace);
+    if ((i + 1) % 100 == 0) std::printf("  %d traces\n", i + 1);
+  }
+  const analysis::DpaResult r = attack.solve();
+  const int truth = analysis::DpaAttack::true_subkey_chunk(secret_key, 0);
+  std::printf("difference-of-means peak: %.3f pJ for guess %d "
+              "(margin over runner-up: %.2fx)\n",
+              r.best_peak, r.best_guess, r.margin());
+  std::printf("true subkey chunk       : %d -> attack %s\n\n", truth,
+              r.best_guess == truth ? "SUCCEEDED" : "failed (try more traces)");
+
+  std::printf("Same attack against the MASKED card...\n");
+  const auto masked = core::MaskingPipeline::des(compiler::Policy::kSelective);
+  analysis::DpaAttack attack2(cfg);
+  util::Rng rng2(2026);
+  for (int i = 0; i < traces; ++i) {
+    const std::uint64_t pt = rng2.next_u64();
+    attack2.add_trace(pt, masked.run_des(secret_key, pt, kRoundOneEnd).trace);
+  }
+  const analysis::DpaResult r2 = attack2.solve();
+  std::printf("difference-of-means peak: %.9f pJ (no signal: the secured "
+              "round consumes identical energy for every input)\n",
+              r2.best_peak);
+  return 0;
+}

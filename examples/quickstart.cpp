@@ -1,0 +1,65 @@
+// Quickstart: encrypt one DES block on the simulated smart-card processor,
+// first unprotected, then with compiler-selected secure instructions, and
+// compare energy and leakage.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/masking_pipeline.hpp"
+#include "des/des.hpp"
+
+using namespace emask;
+
+int main() {
+  const std::uint64_t key = 0x133457799BBCDFF1ull;
+  const std::uint64_t plaintext = 0x0123456789ABCDEFull;
+
+  // 1. Compile the annotated DES program for the unprotected processor.
+  const auto original = core::MaskingPipeline::des(compiler::Policy::kOriginal);
+  const core::EncryptionRun plain_run = original.run_des(key, plaintext);
+
+  std::printf("plaintext : 0x%016llX\n",
+              static_cast<unsigned long long>(plaintext));
+  std::printf("ciphertext: 0x%016llX (simulated smart card)\n",
+              static_cast<unsigned long long>(plain_run.cipher));
+  std::printf("golden    : 0x%016llX (bit-exact C++ model)\n",
+              static_cast<unsigned long long>(
+                  des::encrypt_block(plaintext, key)));
+  std::printf("cycles    : %llu, energy %.1f uJ (%.1f pJ/cycle)\n\n",
+              static_cast<unsigned long long>(plain_run.sim.cycles),
+              plain_run.total_uj(), plain_run.mean_pj_per_cycle());
+
+  // 2. Recompile with the masking compiler: annotate `key` as secret (the
+  //    generated program already carries `.secret key`), forward-slice, and
+  //    emit secure instructions for exactly the slice.
+  const auto masked = core::MaskingPipeline::des(compiler::Policy::kSelective);
+  const core::EncryptionRun masked_run = masked.run_des(key, plaintext);
+  std::printf("secured instructions: %zu of %zu (forward slice of the key)\n",
+              masked.mask_result().secured_count,
+              masked.program().text.size());
+  std::printf("masked energy       : %.1f uJ (+%.1f%% vs unprotected)\n",
+              masked_run.total_uj(),
+              100.0 * (masked_run.total_uj() / plain_run.total_uj() - 1.0));
+  std::printf("same ciphertext     : %s\n\n",
+              masked_run.cipher == plain_run.cipher ? "yes" : "NO!");
+
+  // 3. The point of it all: a one-bit key change is visible in the
+  //    unprotected trace and invisible in the masked one.
+  const std::uint64_t key2 = key ^ (1ull << 62);
+  const auto d_orig =
+      plain_run.trace.difference(original.run_des(key2, plaintext).trace);
+  const auto d_mask =
+      masked_run.trace.difference(masked.run_des(key2, plaintext).trace);
+  const auto secured_part = [](const analysis::Trace& t) {
+    return t.slice(0, static_cast<std::size_t>(
+                          static_cast<double>(t.size()) * 0.95));
+  };
+  std::printf("key-bit flip differential, secured region:\n");
+  std::printf("  unprotected: max |diff| = %.2f pJ  (leaks)\n",
+              secured_part(d_orig).max_abs());
+  std::printf("  masked     : max |diff| = %.2f pJ  (flat)\n",
+              secured_part(d_mask).max_abs());
+  return 0;
+}

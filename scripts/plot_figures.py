@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Plot the reproduced figures from the bench_out/ CSV series.
+
+Usage: after running the bench binaries (which write bench_out/*.csv next
+to the build directory), run
+
+    python3 scripts/plot_figures.py path/to/bench_out [outdir]
+
+One PNG per figure.  Requires matplotlib; the C++ benches do not (the CSVs
+are the primary artifact, plotting is a convenience).
+"""
+import csv
+import pathlib
+import sys
+
+try:
+    import matplotlib
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+except ImportError:
+    sys.exit("matplotlib not available; the CSVs in bench_out/ are the data")
+
+SERIES = {
+    "fig06_energy_trace.csv": ("Figure 6: energy trace (16 rounds visible)",
+                               "cycle", "pJ/cycle (100-cycle window)"),
+    "fig07_key_bit_diff_round1.csv": ("Figure 7: 1-bit key differential, round 1",
+                                      "cycle", "diff (pJ)"),
+    "fig08_key_diff_before.csv": ("Figure 8: key differential before masking",
+                                  "cycle", "diff (pJ)"),
+    "fig09_key_diff_after.csv": ("Figure 9: key differential after masking",
+                                 "cycle", "diff (pJ)"),
+    "fig10_plaintext_diff_before.csv": ("Figure 10: plaintext differential before masking",
+                                        "cycle", "diff (pJ)"),
+    "fig11_plaintext_diff_after.csv": ("Figure 11: plaintext differential after masking",
+                                       "cycle", "diff (pJ)"),
+    "fig12_masking_overhead.csv": ("Figure 12: masking overhead during PC-1",
+                                   "cycle", "overhead (pJ/cycle)"),
+}
+
+
+def main() -> None:
+    src = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else "bench_out")
+    out = pathlib.Path(sys.argv[2] if len(sys.argv) > 2 else src)
+    out.mkdir(parents=True, exist_ok=True)
+    for name, (title, xlabel, ylabel) in SERIES.items():
+        path = src / name
+        if not path.exists():
+            print(f"skip {name} (not found; run the bench first)")
+            continue
+        with path.open() as f:
+            rows = list(csv.reader(f))
+        xs = [float(r[0]) for r in rows[1:]]
+        ys = [float(r[1]) for r in rows[1:]]
+        fig, ax = plt.subplots(figsize=(9, 3))
+        ax.plot(xs, ys, linewidth=0.6)
+        ax.set_title(title)
+        ax.set_xlabel(xlabel)
+        ax.set_ylabel(ylabel)
+        fig.tight_layout()
+        png = out / (path.stem + ".png")
+        fig.savefig(png, dpi=150)
+        plt.close(fig)
+        print(f"wrote {png}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#include "analysis/cpa.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+#include "des/des.hpp"
+
+namespace emask::analysis {
+
+double CpaResult::margin() const {
+  double runner_up = 0.0;
+  for (int g = 0; g < 64; ++g) {
+    if (g == best_guess) continue;
+    runner_up = std::max(runner_up, corr_per_guess[static_cast<std::size_t>(g)]);
+  }
+  return runner_up > 0.0 ? best_corr / runner_up : 0.0;
+}
+
+CpaAttack::CpaAttack(const CpaConfig& config)
+    : config_(config),
+      engine_(64, config.window_begin, config.window_end) {
+  if (config.sbox < 0 || config.sbox > 7) {
+    throw std::invalid_argument("CpaAttack: sbox in 0..7");
+  }
+}
+
+int CpaAttack::predict_weight(std::uint64_t plaintext, int sbox, int guess) {
+  const std::uint64_t ip = des::initial_permutation(plaintext);
+  const auto r0 = static_cast<std::uint32_t>(ip & 0xFFFFFFFFu);
+  const std::uint64_t er = des::expand(r0);
+  const auto six = static_cast<std::uint8_t>((er >> (42 - 6 * sbox)) & 0x3F);
+  const std::uint8_t out = des::sbox_lookup(
+      sbox, static_cast<std::uint8_t>(six ^ static_cast<std::uint8_t>(guess)));
+  return std::popcount(static_cast<unsigned>(out));
+}
+
+void CpaAttack::add_trace(std::uint64_t plaintext, const Trace& trace) {
+  std::vector<int> hypotheses(64);
+  for (int g = 0; g < 64; ++g) {
+    hypotheses[static_cast<std::size_t>(g)] =
+        predict_weight(plaintext, config_.sbox, g);
+  }
+  engine_.add_trace(hypotheses, trace);
+}
+
+CpaResult CpaAttack::solve() const {
+  const GenericCpaResult r = engine_.solve();
+  CpaResult out;
+  out.best_guess = r.best_guess;
+  out.best_corr = r.best_corr;
+  out.traces_used = r.traces_used;
+  for (int g = 0; g < 64; ++g) {
+    out.corr_per_guess[static_cast<std::size_t>(g)] =
+        r.corr_per_guess[static_cast<std::size_t>(g)];
+  }
+  return out;
+}
+
+}  // namespace emask::analysis

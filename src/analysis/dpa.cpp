@@ -1,0 +1,96 @@
+#include "analysis/dpa.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "des/des.hpp"
+
+namespace emask::analysis {
+
+double DpaResult::margin() const {
+  double runner_up = 0.0;
+  for (int g = 0; g < 64; ++g) {
+    if (g == best_guess) continue;
+    runner_up = std::max(runner_up, peak_per_guess[static_cast<std::size_t>(g)]);
+  }
+  return runner_up > 0.0 ? best_peak / runner_up : 0.0;
+}
+
+DpaAttack::DpaAttack(const DpaConfig& config) : config_(config) {
+  if (config.sbox < 0 || config.sbox > 7 || config.bit < 0 || config.bit > 3) {
+    throw std::invalid_argument("DpaAttack: sbox in 0..7, bit in 0..3");
+  }
+  group1_sum_.resize(64);
+  group1_count_.resize(64, 0);
+}
+
+int DpaAttack::predict_bit(std::uint64_t plaintext, int sbox, int bit,
+                           int guess) {
+  const std::uint64_t ip = des::initial_permutation(plaintext);
+  const auto r0 = static_cast<std::uint32_t>(ip & 0xFFFFFFFFu);
+  const std::uint64_t er = des::expand(r0);
+  const auto six =
+      static_cast<std::uint8_t>((er >> (42 - 6 * sbox)) & 0x3F);
+  const std::uint8_t out = des::sbox_lookup(
+      sbox, static_cast<std::uint8_t>(six ^ static_cast<std::uint8_t>(guess)));
+  return (out >> (3 - bit)) & 1;
+}
+
+int DpaAttack::true_subkey_chunk(std::uint64_t key, int sbox) {
+  const des::KeySchedule ks = des::key_schedule(key);
+  return static_cast<int>((ks.subkeys[0] >> (42 - 6 * sbox)) & 0x3F);
+}
+
+void DpaAttack::add_trace(std::uint64_t plaintext, const Trace& trace) {
+  const std::size_t begin = std::min(config_.window_begin, trace.size());
+  const std::size_t end = std::min(config_.window_end, trace.size());
+  const std::size_t w = end > begin ? end - begin : 0;
+  if (traces_ == 0) {
+    width_ = w;
+    total_sum_.assign(width_, 0.0);
+    for (auto& g : group1_sum_) g.assign(width_, 0.0);
+  }
+  if (w < width_) {
+    throw std::invalid_argument("DpaAttack: trace shorter than the window");
+  }
+  ++traces_;
+  for (std::size_t i = 0; i < width_; ++i) total_sum_[i] += trace[begin + i];
+  for (int guess = 0; guess < 64; ++guess) {
+    if (predict_bit(plaintext, config_.sbox, config_.bit, guess) == 1) {
+      auto& sums = group1_sum_[static_cast<std::size_t>(guess)];
+      ++group1_count_[static_cast<std::size_t>(guess)];
+      for (std::size_t i = 0; i < width_; ++i) sums[i] += trace[begin + i];
+    }
+  }
+}
+
+DpaResult DpaAttack::solve() const {
+  DpaResult result;
+  result.traces_used = traces_;
+  if (traces_ == 0) return result;
+  for (int guess = 0; guess < 64; ++guess) {
+    const std::size_t n1 = group1_count_[static_cast<std::size_t>(guess)];
+    const std::size_t n0 = traces_ - n1;
+    if (n1 == 0 || n0 == 0) continue;  // degenerate partition
+    const auto& sums = group1_sum_[static_cast<std::size_t>(guess)];
+    double peak = 0.0;
+    std::vector<double> dom(width_);
+    for (std::size_t i = 0; i < width_; ++i) {
+      const double mean1 = sums[i] / static_cast<double>(n1);
+      const double mean0 =
+          (total_sum_[i] - sums[i]) / static_cast<double>(n0);
+      dom[i] = mean1 - mean0;
+      peak = std::max(peak, std::abs(dom[i]));
+    }
+    result.peak_per_guess[static_cast<std::size_t>(guess)] = peak;
+    if (peak > result.best_peak) {
+      result.best_peak = peak;
+      result.best_guess = guess;
+      result.dom_best = std::move(dom);
+    }
+  }
+  return result;
+}
+
+}  // namespace emask::analysis

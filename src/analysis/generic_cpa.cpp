@@ -1,0 +1,98 @@
+#include "analysis/generic_cpa.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace emask::analysis {
+
+double GenericCpaResult::margin() const {
+  double runner_up = 0.0;
+  for (std::size_t g = 0; g < corr_per_guess.size(); ++g) {
+    if (static_cast<int>(g) == best_guess) continue;
+    runner_up = std::max(runner_up, corr_per_guess[g]);
+  }
+  return runner_up > 0.0 ? best_corr / runner_up : 0.0;
+}
+
+GenericCpa::GenericCpa(int num_guesses, std::size_t window_begin,
+                       std::size_t window_end, bool signed_correlation)
+    : num_guesses_(num_guesses),
+      begin_(window_begin),
+      end_(window_end),
+      signed_correlation_(signed_correlation) {
+  if (num_guesses <= 0) {
+    throw std::invalid_argument("GenericCpa: need at least one guess");
+  }
+  sum_h_.resize(static_cast<std::size_t>(num_guesses), 0.0);
+  sum_h2_.resize(static_cast<std::size_t>(num_guesses), 0.0);
+}
+
+void GenericCpa::add_trace(const std::vector<int>& hypotheses,
+                           const Trace& trace) {
+  if (hypotheses.size() != static_cast<std::size_t>(num_guesses_)) {
+    throw std::invalid_argument("GenericCpa: hypothesis count mismatch");
+  }
+  const std::size_t begin = std::min(begin_, trace.size());
+  const std::size_t end = std::min(end_, trace.size());
+  const std::size_t w = end > begin ? end - begin : 0;
+  if (traces_ == 0) {
+    width_ = w;
+    sum_t_.assign(width_, 0.0);
+    sum_t2_.assign(width_, 0.0);
+    sum_ht_.assign(width_ * static_cast<std::size_t>(num_guesses_), 0.0);
+  }
+  if (w < width_) {
+    throw std::invalid_argument("GenericCpa: trace shorter than the window");
+  }
+  ++traces_;
+  for (int g = 0; g < num_guesses_; ++g) {
+    const double h = hypotheses[static_cast<std::size_t>(g)];
+    sum_h_[static_cast<std::size_t>(g)] += h;
+    sum_h2_[static_cast<std::size_t>(g)] += h * h;
+  }
+  for (std::size_t i = 0; i < width_; ++i) {
+    const double t = trace[begin + i];
+    sum_t_[i] += t;
+    sum_t2_[i] += t * t;
+    double* row = &sum_ht_[i * static_cast<std::size_t>(num_guesses_)];
+    for (int g = 0; g < num_guesses_; ++g) {
+      row[g] += hypotheses[static_cast<std::size_t>(g)] * t;
+    }
+  }
+}
+
+GenericCpaResult GenericCpa::solve() const {
+  GenericCpaResult result;
+  result.traces_used = traces_;
+  result.corr_per_guess.assign(static_cast<std::size_t>(num_guesses_), 0.0);
+  if (traces_ < 2) return result;
+  const auto n = static_cast<double>(traces_);
+  for (int g = 0; g < num_guesses_; ++g) {
+    const double sh = sum_h_[static_cast<std::size_t>(g)];
+    const double var_h = sum_h2_[static_cast<std::size_t>(g)] - sh * sh / n;
+    if (var_h <= 0.0) continue;
+    double peak = 0.0;
+    for (std::size_t i = 0; i < width_; ++i) {
+      const double st = sum_t_[i];
+      const double var_t = sum_t2_[i] - st * st / n;
+      // Relative threshold: constant-energy (masked) cycles leave only
+      // floating-point cancellation residue.
+      if (var_t <= 1e-10 * sum_t2_[i]) continue;
+      const double cov =
+          sum_ht_[i * static_cast<std::size_t>(num_guesses_) +
+                  static_cast<std::size_t>(g)] -
+          sh * st / n;
+      const double rho = cov / std::sqrt(var_h * var_t);
+      peak = std::max(peak, signed_correlation_ ? rho : std::abs(rho));
+    }
+    result.corr_per_guess[static_cast<std::size_t>(g)] = peak;
+    if (peak > result.best_corr) {
+      result.best_corr = peak;
+      result.best_guess = g;
+    }
+  }
+  return result;
+}
+
+}  // namespace emask::analysis

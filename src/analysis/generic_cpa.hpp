@@ -1,0 +1,59 @@
+// Algorithm-agnostic correlation power analysis engine.
+//
+// The caller supplies, per trace, a hypothesis value (e.g. a predicted
+// Hamming weight) for every candidate guess; the engine maintains the
+// sufficient statistics for the Pearson correlation between hypothesis and
+// measured energy at every cycle, per guess.  DES (64 subkey guesses) and
+// AES (256 key-byte guesses) attacks are thin wrappers over this.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "analysis/trace.hpp"
+
+namespace emask::analysis {
+
+struct GenericCpaResult {
+  int best_guess = -1;
+  double best_corr = 0.0;
+  std::vector<double> corr_per_guess;
+  std::size_t traces_used = 0;
+
+  /// Winner's |rho| over the runner-up's (>1 = clean recovery).
+  [[nodiscard]] double margin() const;
+};
+
+class GenericCpa {
+ public:
+  /// `signed_correlation`: score each guess by its maximum *signed* rho
+  /// instead of |rho|.  When the power model's polarity is known (more
+  /// asserted bits => more energy, as here), this resolves complement
+  /// ambiguities — e.g. DES S-box 4's linear structure S4(x ^ 2F) = ~S4(x)
+  /// makes a key guess and its complement-partner tie under |rho|.
+  GenericCpa(int num_guesses, std::size_t window_begin = 0,
+             std::size_t window_end = SIZE_MAX,
+             bool signed_correlation = false);
+
+  /// `hypotheses[g]` is this trace's predicted leakage for guess g; must
+  /// have exactly num_guesses entries.
+  void add_trace(const std::vector<int>& hypotheses, const Trace& trace);
+
+  [[nodiscard]] GenericCpaResult solve() const;
+  [[nodiscard]] int num_guesses() const { return num_guesses_; }
+
+ private:
+  int num_guesses_;
+  std::size_t begin_;
+  std::size_t end_;
+  bool signed_correlation_;
+  std::size_t traces_ = 0;
+  std::size_t width_ = 0;
+  std::vector<double> sum_t_;
+  std::vector<double> sum_t2_;
+  std::vector<double> sum_h_;   // [guess]
+  std::vector<double> sum_h2_;  // [guess]
+  std::vector<double> sum_ht_;  // [cycle * num_guesses + guess]
+};
+
+}  // namespace emask::analysis

@@ -1,0 +1,54 @@
+#include "analysis/key_recovery.hpp"
+
+#include <vector>
+
+#include "des/des.hpp"
+#include "des/tables.hpp"
+#include "util/bitops.hpp"
+
+namespace emask::analysis {
+
+int k1_source_key_bit(int k1_bit_index) {
+  // K1[i] = CD1[PC2[i] - 1], CD1 = (C0 <<< 1) || (D0 <<< 1) (round 1 shift
+  // is 1), CD0 = PC1(key).  Walk the indices backwards.
+  const int p = des::kPc2[static_cast<std::size_t>(k1_bit_index)] - 1;
+  // Position in CD0: a left-rotate by one of each 28-bit half means
+  // CD1[j] = CD0[j + 1 mod 28 within the half].
+  const int q = p < 28 ? (p + 1) % 28 : 28 + ((p - 28 + 1) % 28);
+  return des::kPc1[static_cast<std::size_t>(q)];  // 1-based key bit
+}
+
+std::optional<std::uint64_t> reconstruct_key(std::uint64_t recovered_k1,
+                                             std::uint64_t plaintext,
+                                             std::uint64_t ciphertext) {
+  // Place the 48 exposed bits.
+  std::uint64_t key = 0;
+  bool exposed[65] = {};
+  for (int i = 0; i < 48; ++i) {
+    const int kpos = k1_source_key_bit(i);  // 1-based, MSB-first
+    exposed[kpos] = true;
+    const std::uint64_t bit = (recovered_k1 >> (47 - i)) & 1u;
+    key |= bit << (64 - kpos);
+  }
+  // The unexposed effective bits: everything PC-1 selects that K1 misses.
+  std::vector<int> missing;
+  for (const int kpos : des::kPc1) {
+    if (!exposed[kpos]) missing.push_back(kpos);
+  }
+  // 2^missing search (8 for standard DES).
+  const auto trials = 1u << missing.size();
+  for (std::uint32_t assignment = 0; assignment < trials; ++assignment) {
+    std::uint64_t candidate = key;
+    for (std::size_t b = 0; b < missing.size(); ++b) {
+      const std::uint64_t bit = (assignment >> b) & 1u;
+      candidate |= bit << (64 - missing[b]);
+    }
+    candidate = des::with_odd_parity(candidate);
+    if (des::encrypt_block(plaintext, candidate) == ciphertext) {
+      return candidate;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace emask::analysis

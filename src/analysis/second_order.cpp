@@ -1,0 +1,53 @@
+#include "analysis/second_order.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace emask::analysis {
+
+SecondOrderPreprocessor::SecondOrderPreprocessor(std::size_t window_begin,
+                                                 std::size_t window_end,
+                                                 std::size_t max_lag)
+    : begin_(window_begin), end_(window_end), max_lag_(max_lag) {
+  if (max_lag == 0) {
+    throw std::invalid_argument("SecondOrderPreprocessor: max_lag >= 1");
+  }
+}
+
+void SecondOrderPreprocessor::fit(const Trace& trace) {
+  const std::size_t begin = std::min(begin_, trace.size());
+  const std::size_t end = std::min(end_, trace.size());
+  const std::size_t w = end > begin ? end - begin : 0;
+  if (fitted_ == 0) {
+    width_ = w;
+    mean_.assign(width_, 0.0);
+  }
+  if (w < width_) {
+    throw std::invalid_argument("SecondOrderPreprocessor: short trace");
+  }
+  ++fitted_;
+  // Streaming mean update.
+  for (std::size_t i = 0; i < width_; ++i) {
+    mean_[i] += (trace[begin + i] - mean_[i]) / static_cast<double>(fitted_);
+  }
+}
+
+Trace SecondOrderPreprocessor::combine(const Trace& trace) const {
+  if (fitted_ == 0) {
+    throw std::logic_error("SecondOrderPreprocessor: fit() first");
+  }
+  const std::size_t begin = std::min(begin_, trace.size());
+  std::vector<double> out;
+  const std::size_t lags = std::min(max_lag_, width_ ? width_ - 1 : 0);
+  out.reserve(width_ * lags);
+  for (std::size_t lag = 1; lag <= lags; ++lag) {
+    for (std::size_t i = 0; i + lag < width_; ++i) {
+      const double a = trace[begin + i] - mean_[i];
+      const double b = trace[begin + i + lag] - mean_[i + lag];
+      out.push_back(a * b);
+    }
+  }
+  return Trace(std::move(out));
+}
+
+}  // namespace emask::analysis

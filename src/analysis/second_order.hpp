@@ -1,0 +1,51 @@
+// Second-order DPA preprocessing.
+//
+// The paper notes that "higher-order power analysis techniques can be used
+// to circumvent these protection mechanisms" — specifically, *Boolean*
+// masking (splitting a secret into two random shares) falls to second-order
+// attacks that combine the two shares' leakage samples.  The classic
+// combination function is the centered product
+//
+//     c_{i,j} = (t_i - E[t_i]) * (t_j - E[t_j])
+//
+// whose mean correlates with the XOR of the bits leaking at cycles i and j.
+//
+// This module provides the preprocessing; the combined trace feeds the
+// ordinary first-order engines (DpaAttack / GenericCpa).  Against the
+// paper's dual-rail masking the combined trace is identically zero — there
+// is no variance at any cycle to combine — which is the structural
+// advantage of constant-power hardware over share-based software masking.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "analysis/trace.hpp"
+
+namespace emask::analysis {
+
+class SecondOrderPreprocessor {
+ public:
+  /// Combines cycles within [window_begin, window_end) at lags 1..max_lag:
+  /// the output trace has (width - lag) entries per lag, concatenated.
+  SecondOrderPreprocessor(std::size_t window_begin, std::size_t window_end,
+                          std::size_t max_lag);
+
+  /// Profiling pass: accumulates per-cycle means.
+  void fit(const Trace& trace);
+
+  /// Attack pass: centered products against the fitted means.
+  [[nodiscard]] Trace combine(const Trace& trace) const;
+
+  [[nodiscard]] std::size_t traces_fitted() const { return fitted_; }
+
+ private:
+  std::size_t begin_;
+  std::size_t end_;
+  std::size_t max_lag_;
+  std::size_t width_ = 0;
+  std::size_t fitted_ = 0;
+  std::vector<double> mean_;
+};
+
+}  // namespace emask::analysis

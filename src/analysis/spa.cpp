@@ -1,0 +1,38 @@
+#include "analysis/spa.hpp"
+
+#include <algorithm>
+
+#include "util/stats.hpp"
+
+namespace emask::analysis {
+
+double autocorrelation(const Trace& trace, std::size_t lag) {
+  if (lag == 0 || lag >= trace.size()) return 0.0;
+  const std::size_t n = trace.size() - lag;
+  std::vector<double> a(n), b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = trace[i];
+    b[i] = trace[i + lag];
+  }
+  return util::pearson(a, b);
+}
+
+SpaResult detect_rounds(const Trace& trace, std::size_t min_period,
+                        std::size_t max_period) {
+  SpaResult result;
+  max_period = std::min(max_period, trace.size() / 2);
+  for (std::size_t p = min_period; p <= max_period; ++p) {
+    const double r = autocorrelation(trace, p);
+    if (r > result.periodicity) {
+      result.periodicity = r;
+      result.best_period = p;
+    }
+  }
+  if (result.best_period > 0) {
+    result.repetitions =
+        static_cast<int>(trace.size() / result.best_period);
+  }
+  return result;
+}
+
+}  // namespace emask::analysis

@@ -1,0 +1,84 @@
+#include "analysis/trace_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace emask::analysis {
+namespace {
+
+constexpr char kMagic[4] = {'E', 'M', 'T', 'S'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::ifstream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw std::runtime_error("trace set: truncated file");
+  return value;
+}
+
+}  // namespace
+
+void save_trace_set(const std::string& path, const TraceSet& set) {
+  const std::size_t len = set.traces.empty() ? 0 : set.traces.front().size();
+  for (const Trace& t : set.traces) {
+    if (t.size() != len) {
+      throw std::runtime_error("trace set: traces must share a length");
+    }
+  }
+  if (set.inputs.size() != set.traces.size()) {
+    throw std::runtime_error("trace set: inputs/traces size mismatch");
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("trace set: cannot open " + path);
+  out.write(kMagic, 4);
+  write_pod(out, kVersion);
+  write_pod(out, static_cast<std::uint64_t>(set.traces.size()));
+  write_pod(out, static_cast<std::uint64_t>(len));
+  std::vector<float> row(len);
+  for (std::size_t i = 0; i < set.traces.size(); ++i) {
+    write_pod(out, set.inputs[i]);
+    for (std::size_t j = 0; j < len; ++j) {
+      row[j] = static_cast<float>(set.traces[i][j]);
+    }
+    out.write(reinterpret_cast<const char*>(row.data()),
+              static_cast<std::streamsize>(len * sizeof(float)));
+  }
+  if (!out) throw std::runtime_error("trace set: write failed for " + path);
+}
+
+TraceSet load_trace_set(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("trace set: cannot open " + path);
+  char magic[4];
+  in.read(magic, 4);
+  if (!in || std::memcmp(magic, kMagic, 4) != 0) {
+    throw std::runtime_error("trace set: bad magic in " + path);
+  }
+  const auto version = read_pod<std::uint32_t>(in);
+  if (version != kVersion) {
+    throw std::runtime_error("trace set: unsupported version " +
+                             std::to_string(version));
+  }
+  const auto n = read_pod<std::uint64_t>(in);
+  const auto len = read_pod<std::uint64_t>(in);
+  TraceSet set;
+  std::vector<float> row(len);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const auto input = read_pod<std::uint64_t>(in);
+    in.read(reinterpret_cast<char*>(row.data()),
+            static_cast<std::streamsize>(len * sizeof(float)));
+    if (!in) throw std::runtime_error("trace set: truncated file");
+    std::vector<double> samples(row.begin(), row.end());
+    set.add(input, Trace(std::move(samples)));
+  }
+  return set;
+}
+
+}  // namespace emask::analysis

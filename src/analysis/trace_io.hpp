@@ -1,0 +1,39 @@
+// Trace-set persistence: capture once, attack offline.
+//
+// Binary format "EMTS" (eMask Trace Set), little-endian:
+//   magic "EMTS"  u32 version  u64 n_traces  u64 trace_len
+//   then per trace: u64 input (e.g. the plaintext)  +  trace_len float32
+//   samples (pJ).
+//
+// float32 halves the footprint; the quantization (~1e-5 relative) is far
+// below any attack's decision margin.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/trace.hpp"
+
+namespace emask::analysis {
+
+struct TraceSet {
+  std::vector<std::uint64_t> inputs;  // parallel to traces
+  std::vector<Trace> traces;
+
+  [[nodiscard]] std::size_t size() const { return traces.size(); }
+  void add(std::uint64_t input, Trace trace) {
+    inputs.push_back(input);
+    traces.push_back(std::move(trace));
+  }
+};
+
+/// Writes the set; throws std::runtime_error on IO failure or if the
+/// traces are not all the same length.
+void save_trace_set(const std::string& path, const TraceSet& set);
+
+/// Reads a set; throws std::runtime_error on IO failure, bad magic,
+/// unsupported version, or truncation.
+[[nodiscard]] TraceSet load_trace_set(const std::string& path);
+
+}  // namespace emask::analysis

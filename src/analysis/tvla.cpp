@@ -1,0 +1,42 @@
+#include "analysis/tvla.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace emask::analysis {
+
+void TvlaAssessment::add(std::vector<util::RunningStats>& group,
+                         const Trace& trace) {
+  const std::size_t begin = std::min(begin_, trace.size());
+  const std::size_t end = std::min(end_, trace.size());
+  const std::size_t w = end > begin ? end - begin : 0;
+  if (width_ == 0 && fixed_.empty() && random_.empty()) {
+    width_ = w;
+    fixed_.resize(width_);
+    random_.resize(width_);
+  }
+  if (w < width_) {
+    throw std::invalid_argument("TvlaAssessment: trace shorter than window");
+  }
+  for (std::size_t i = 0; i < width_; ++i) group[i].add(trace[begin + i]);
+}
+
+TvlaResult TvlaAssessment::solve() const {
+  TvlaResult result;
+  result.t_per_cycle.resize(width_);
+  for (std::size_t i = 0; i < width_; ++i) {
+    const double t = util::welch_t(fixed_[i], random_[i]);
+    result.t_per_cycle[i] = t;
+    if (std::abs(t) > result.max_abs_t) {
+      result.max_abs_t = std::abs(t);
+      result.worst_cycle = i;
+    }
+    if (std::abs(t) > TvlaResult::kTvlaThreshold) {
+      ++result.cycles_over_threshold;
+    }
+  }
+  return result;
+}
+
+}  // namespace emask::analysis

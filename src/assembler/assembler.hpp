@@ -1,0 +1,46 @@
+// Two-pass assembler for the modeled ISA.
+//
+// Syntax (MIPS-flavoured, matching the paper's Fig. 4 listings):
+//
+//   .data
+//   key:      .word 1, 0, 1, 1   # initialized words
+//   .secret key                  # programmer annotation: key is sensitive
+//   buf:      .space 64          # zero-filled bytes
+//             .align 2
+//   .text
+//   main:
+//     la   $t0, key
+//     lw   $t1, 0($t0)
+//     sxor $t2, $t1, $t3         # "s" prefix = secure version
+//     halt
+//
+// Pseudo-instructions: nop, move/smove, li, la, b.
+// Comments start with '#' or ';'.  Numeric literals may be decimal or 0x hex.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "assembler/program.hpp"
+
+namespace emask::assembler {
+
+/// Assembly-time diagnostic carrying the 1-based source line.
+class AsmError : public std::runtime_error {
+ public:
+  AsmError(int line, const std::string& message)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+
+  [[nodiscard]] int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+/// Assembles `source` into a loadable program.  Throws AsmError on any
+/// syntactic or semantic problem (unknown mnemonic, undefined label,
+/// out-of-range immediate, secure prefix on a non-securable opcode, ...).
+[[nodiscard]] Program assemble(const std::string& source);
+
+}  // namespace emask::assembler

@@ -1,0 +1,54 @@
+#include "compiler/masking.hpp"
+
+namespace emask::compiler {
+
+std::string_view policy_name(Policy p) {
+  switch (p) {
+    case Policy::kOriginal: return "original";
+    case Policy::kSelective: return "selective";
+    case Policy::kNaiveLoadStore: return "naive_loadstore";
+    case Policy::kAllSecure: return "all_secure";
+  }
+  return "?";
+}
+
+MaskResult apply_masking(const assembler::Program& program, Policy policy) {
+  MaskResult out;
+  out.program = program;
+  for (isa::Instruction& inst : out.program.text) inst.secure = false;
+
+  switch (policy) {
+    case Policy::kOriginal:
+      break;
+    case Policy::kSelective: {
+      out.slice = forward_slice(program);
+      for (std::size_t i = 0; i < out.program.text.size(); ++i) {
+        if (out.slice.in_slice[i]) {
+          out.program.text[i].secure = true;
+          ++out.secured_count;
+        }
+      }
+      break;
+    }
+    case Policy::kNaiveLoadStore: {
+      for (isa::Instruction& inst : out.program.text) {
+        const isa::OpcodeInfo& oi = isa::info(inst.op);
+        if (oi.is_load || oi.is_store) {
+          inst.secure = true;
+          ++out.secured_count;
+        }
+      }
+      break;
+    }
+    case Policy::kAllSecure: {
+      for (isa::Instruction& inst : out.program.text) {
+        inst.secure = true;
+        ++out.secured_count;
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace emask::compiler

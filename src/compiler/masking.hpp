@@ -1,0 +1,47 @@
+// Secure-instruction rewriting: the compiler's code-transformation step.
+//
+// Four protection policies, matching the four configurations the paper
+// evaluates (Sec. 4.3, total-energy comparison):
+//
+//   * kOriginal        — no masking; 46.4 uJ in the paper.
+//   * kSelective       — the paper's contribution: secure versions only for
+//                        the forward slice of the `.secret` seeds; 52.6 uJ.
+//   * kNaiveLoadStore  — "the naive approach would convert all the four
+//                        load operations into secure loads": every load and
+//                        store becomes secure, no analysis; 63.6 uJ.
+//   * kAllSecure       — every instruction runs on dual-rail hardware, as
+//                        in whole-circuit dual-rail solutions; 83.5 uJ.
+#pragma once
+
+#include <string>
+
+#include "assembler/program.hpp"
+#include "compiler/slicer.hpp"
+
+namespace emask::compiler {
+
+enum class Policy {
+  kOriginal,
+  kSelective,
+  kNaiveLoadStore,
+  kAllSecure,
+};
+
+[[nodiscard]] std::string_view policy_name(Policy p);
+
+/// Output of the masking compiler.
+struct MaskResult {
+  assembler::Program program;  // rewritten copy
+  SliceResult slice;           // analysis results (empty for non-selective)
+  std::size_t secured_count = 0;
+};
+
+/// Applies `policy` to `program` and returns the rewritten copy.  For
+/// kSelective this runs the forward slice; any kTaintedBranch or
+/// kTaintedNonSecurable diagnostic is a *hole in the protection* — callers
+/// should surface them (they are returned, not thrown, so tooling can
+/// report all of them at once).
+[[nodiscard]] MaskResult apply_masking(const assembler::Program& program,
+                                       Policy policy);
+
+}  // namespace emask::compiler

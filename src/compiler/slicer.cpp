@@ -1,0 +1,426 @@
+#include "compiler/slicer.hpp"
+
+#include <array>
+#include <deque>
+#include <stdexcept>
+
+#include "compiler/taint.hpp"
+#include "isa/instruction.hpp"
+
+namespace emask::compiler {
+namespace {
+
+using assembler::Program;
+using isa::Instruction;
+using isa::Opcode;
+
+/// Register state at one program point.
+struct State {
+  bool reachable = false;
+  std::array<AbsVal, isa::kNumRegisters> regs;
+
+  /// Joins `other` in; returns true if anything changed.
+  bool join_from(const State& other) {
+    bool changed = false;
+    if (!reachable) {
+      *this = other;
+      return other.reachable;
+    }
+    for (int i = 0; i < isa::kNumRegisters; ++i) {
+      const AbsVal joined = regs[static_cast<std::size_t>(i)].join(
+          other.regs[static_cast<std::size_t>(i)]);
+      if (joined != regs[static_cast<std::size_t>(i)]) {
+        regs[static_cast<std::size_t>(i)] = joined;
+        changed = true;
+      }
+    }
+    return changed;
+  }
+};
+
+class Slicer {
+ public:
+  Slicer(const Program& program, const SliceOptions& options)
+      : prog_(program), options_(options) {
+    if (prog_.symbols.size() > 64) {
+      throw std::invalid_argument(
+          "forward_slice: more than 64 data symbols (points-to mask "
+          "exhausted); split the data segment");
+    }
+    region_tainted_.resize(prog_.symbols.size());
+    region_pts_.resize(prog_.symbols.size(), 0);
+    region_pts_accum_.resize(prog_.symbols.size(), 0);
+    for (std::size_t i = 0; i < prog_.symbols.size(); ++i) {
+      region_tainted_[i] = prog_.symbols[i].secret;
+    }
+    any_secret_ = false;
+    for (bool t : region_tainted_) any_secret_ |= t;
+  }
+
+  SliceResult run() {
+    // Phase 1: region points-to fixpoint.  Unoptimized code spills base
+    // pointers to memory; the per-region summary records which symbols a
+    // pointer reloaded from each region may target.  This is independent
+    // of taint and MUST stabilize first — otherwise the first taint pass
+    // would see spilled-pointer accesses as unresolved, conservatively
+    // taint every region, and the monotone taint ratchet would lock that
+    // imprecision in.
+    for (;;) {
+      dataflow();
+      (void)classify();
+      bool grew = false;
+      for (std::size_t i = 0; i < region_pts_.size(); ++i) {
+        if ((region_pts_accum_[i] | region_pts_[i]) != region_pts_[i]) {
+          region_pts_[i] |= region_pts_accum_[i];
+          grew = true;
+        }
+      }
+      if (!grew) break;
+    }
+    // Phase 2: taint fixpoint on the stable points-to summaries.
+    for (;;) {
+      dataflow();
+      SliceResult result = classify();
+      bool grew = false;
+      for (std::size_t i = 0; i < region_tainted_.size(); ++i) {
+        if (result.symbol_tainted[i] && !region_tainted_[i]) {
+          region_tainted_[i] = true;
+          grew = true;
+        }
+      }
+      if (!grew) return result;
+    }
+  }
+
+ private:
+  /// Abstract constant with its containing-symbol points-to bit.
+  AbsVal mk_const(std::uint32_t v) const {
+    AbsVal out;
+    out.is_const = true;
+    out.cval = v;
+    out.points_to = symbol_mask_at(v);
+    return out;
+  }
+
+  std::uint64_t symbol_mask_at(std::uint32_t address) const {
+    for (std::size_t i = 0; i < prog_.symbols.size(); ++i) {
+      const assembler::DataSymbol& s = prog_.symbols[i];
+      if (address >= s.address && address < s.address + s.size_bytes) {
+        return 1ull << i;
+      }
+    }
+    return 0;
+  }
+
+  static AbsVal read(const State& s, isa::Reg r) {
+    if (r == isa::kZero) {
+      AbsVal z;
+      z.is_const = true;
+      return z;
+    }
+    return s.regs[r];
+  }
+
+  static void def(State& s, isa::Reg r, const AbsVal& v) {
+    if (r != isa::kZero) s.regs[r] = v;
+  }
+
+  /// Re-derive the containing-symbol set after constant folding.  A known
+  /// constant points exactly at the symbol containing it — unioning in the
+  /// operands' masks would smear spurious targets (e.g. the intermediate
+  /// `lui` half of a `la` expansion lands inside whatever symbol sits at
+  /// the start of the data segment).
+  AbsVal normalized(AbsVal v) const {
+    if (v.is_const) v.points_to = symbol_mask_at(v.cval);
+    return v;
+  }
+
+  /// Effective address of a load/store as an abstract value.
+  AbsVal effective_address(const State& s, const Instruction& inst) const {
+    return normalized(combine(read(s, inst.rs),
+                              mk_const(static_cast<std::uint32_t>(inst.imm)),
+                              [](std::uint32_t a, std::uint32_t b) {
+                                return a + b;
+                              }));
+  }
+
+  /// Regions a memory access may touch; empty mask means unresolved.
+  std::uint64_t resolve(const AbsVal& addr) const {
+    if (addr.is_const) return symbol_mask_at(addr.cval);
+    return addr.points_to;
+  }
+
+  bool any_region_tainted(std::uint64_t mask) const {
+    for (std::size_t i = 0; i < region_tainted_.size(); ++i) {
+      if ((mask >> i) & 1u) {
+        if (region_tainted_[i]) return true;
+      }
+    }
+    return false;
+  }
+
+  /// Applies instruction semantics to the abstract state.  When `sink` is
+  /// non-null, classification effects (slice membership, diagnostics, new
+  /// region taints) are recorded there.
+  void transfer(std::uint32_t index, State& s, SliceResult* sink) {
+    const Instruction& inst = prog_.text[index];
+    const isa::OpcodeInfo& oi = isa::info(inst.op);
+    const int line = index < prog_.text_locs.size()
+                         ? prog_.text_locs[index].line
+                         : 0;
+
+    const auto diag = [&](DiagnosticKind kind, const std::string& msg) {
+      if (sink) sink->diagnostics.push_back(Diagnostic{kind, index, line, msg});
+    };
+    const auto mark = [&] {
+      if (sink) sink->in_slice[index] = true;
+    };
+
+    switch (oi.format) {
+      case isa::Format::kLoadStore: {
+        const AbsVal addr = effective_address(s, inst);
+        std::uint64_t regions = resolve(addr);
+        bool unresolved = false;
+        if (regions == 0) {
+          unresolved = true;
+          diag(DiagnosticKind::kUnresolvedAddress,
+               "memory access with unresolved target region: " +
+                   inst.to_string());
+        }
+        if (oi.is_load) {
+          AbsVal v;
+          v.tainted = addr.tainted || any_region_tainted(regions) ||
+                      (unresolved && any_secret_);
+          // A value loaded back from memory may be a previously stored
+          // pointer: give it the union of the touched regions' points-to
+          // summaries (all regions when the access is unresolved).
+          for (std::size_t i = 0; i < region_pts_.size(); ++i) {
+            if (unresolved || (((regions >> i) & 1u) != 0)) {
+              v.points_to |= region_pts_[i];
+            }
+          }
+          def(s, inst.rt, v);
+          if (v.tainted || addr.tainted) mark();
+        } else {
+          const AbsVal v = read(s, inst.rt);
+          // Stores of secret-derived data into `.declassified` regions stay
+          // insecure (the paper's output-permutation argument) and do not
+          // propagate taint; secret-derived *addresses* always need the
+          // secure indexing version.
+          bool taints_some_region = false;
+          for (std::size_t i = 0; i < region_tainted_.size(); ++i) {
+            const bool touches = unresolved || (((regions >> i) & 1u) != 0);
+            if (!touches) continue;
+            if (sink) region_pts_accum_[i] |= v.points_to;
+            if (v.tainted && !prog_.symbols[i].declassified) {
+              taints_some_region = true;
+              if (sink) sink->symbol_tainted[i] = true;
+            }
+          }
+          if (taints_some_region || addr.tainted) mark();
+        }
+        break;
+      }
+      case isa::Format::kRegister:
+      case isa::Format::kShiftImm:
+      case isa::Format::kImmediate: {
+        AbsVal a, b;
+        if (oi.format == isa::Format::kRegister) {
+          a = read(s, inst.rs);
+          b = read(s, inst.rt);
+        } else if (oi.format == isa::Format::kShiftImm) {
+          a = read(s, inst.rt);
+          b = mk_const(static_cast<std::uint32_t>(inst.imm));
+        } else if (inst.op == Opcode::kLui) {
+          a = mk_const(0);
+          b = mk_const(static_cast<std::uint32_t>(inst.imm) & 0xFFFFu);
+        } else {
+          a = read(s, inst.rs);
+          b = mk_const(static_cast<std::uint32_t>(inst.imm));
+        }
+        const AbsVal result = normalized(combine(a, b, [&](std::uint32_t x,
+                                                           std::uint32_t y) {
+          return fold(inst.op, x, y, inst.imm);
+        }));
+        def(s, dest_reg(inst), result);
+        const bool securable =
+            oi.securable &&
+            !(options_.paper_strict_classes &&
+              (inst.op == Opcode::kAnd || inst.op == Opcode::kAndi ||
+               inst.op == Opcode::kNor));
+        if (a.tainted || b.tainted) {
+          if (securable) {
+            mark();
+          } else {
+            diag(DiagnosticKind::kTaintedNonSecurable,
+                 "secret-dependent value flows through '" +
+                     std::string(oi.mnemonic) +
+                     "', which has no secure version: " + inst.to_string());
+          }
+        }
+        break;
+      }
+      case isa::Format::kBranch: {
+        const AbsVal a = read(s, inst.rs);
+        const AbsVal b = read(s, inst.rt);
+        if (a.tainted || b.tainted) {
+          diag(DiagnosticKind::kTaintedBranch,
+               "branch condition depends on a secret (SPA/timing leak): " +
+                   inst.to_string());
+        }
+        break;
+      }
+      case isa::Format::kJump:
+        if (inst.op == Opcode::kJal) def(s, isa::kRa, AbsVal{});
+        break;
+      case isa::Format::kJumpReg:
+        if (inst.op == Opcode::kJalr) def(s, inst.rd, AbsVal{});
+        break;
+      case isa::Format::kNullary:
+        break;
+    }
+  }
+
+  static isa::Reg dest_reg(const Instruction& inst) {
+    switch (isa::info(inst.op).format) {
+      case isa::Format::kRegister:
+      case isa::Format::kShiftImm:
+        return inst.rd;
+      default:
+        return inst.rt;
+    }
+  }
+
+  static std::uint32_t fold(Opcode op, std::uint32_t a, std::uint32_t b,
+                            std::int32_t imm) {
+    switch (op) {
+      case Opcode::kAddu:
+      case Opcode::kAddiu: return a + b;
+      case Opcode::kSubu: return a - b;
+      case Opcode::kAnd:
+      case Opcode::kAndi: return a & b;
+      case Opcode::kOr:
+      case Opcode::kOri: return a | b;
+      case Opcode::kXor:
+      case Opcode::kXori: return a ^ b;
+      case Opcode::kNor: return ~(a | b);
+      case Opcode::kSll: return a << (imm & 31);
+      case Opcode::kSrl: return a >> (imm & 31);
+      case Opcode::kSra:
+        return static_cast<std::uint32_t>(static_cast<std::int32_t>(a) >>
+                                          (imm & 31));
+      case Opcode::kSllv: return b << (a & 31u);
+      case Opcode::kSrlv: return b >> (a & 31u);
+      case Opcode::kSrav:
+        return static_cast<std::uint32_t>(static_cast<std::int32_t>(b) >>
+                                          (a & 31u));
+      case Opcode::kLui: return b << 16;
+      case Opcode::kSlt:
+        return static_cast<std::int32_t>(a) < static_cast<std::int32_t>(b);
+      case Opcode::kSlti:
+        return static_cast<std::int32_t>(a) < imm ? 1u : 0u;
+      case Opcode::kSltu: return a < b ? 1u : 0u;
+      case Opcode::kSltiu: return a < static_cast<std::uint32_t>(imm) ? 1u : 0u;
+      default: return 0;
+    }
+  }
+
+  std::vector<std::uint32_t> successors(std::uint32_t index) const {
+    const Instruction& inst = prog_.text[index];
+    const isa::OpcodeInfo& oi = isa::info(inst.op);
+    std::vector<std::uint32_t> out;
+    const auto push = [&](std::int64_t t) {
+      if (t >= 0 && t < static_cast<std::int64_t>(prog_.text.size())) {
+        out.push_back(static_cast<std::uint32_t>(t));
+      }
+    };
+    if (inst.op == Opcode::kHalt) return out;
+    if (oi.is_branch) {
+      push(index + 1);
+      push(static_cast<std::int64_t>(index) + 1 + inst.imm);
+      return out;
+    }
+    if (inst.op == Opcode::kJ || inst.op == Opcode::kJal) {
+      push(inst.imm);
+      // kJal's return edge is handled specially in dataflow() (caller-saved
+      // registers are clobbered across the call).
+      return out;
+    }
+    if (inst.op == Opcode::kJr || inst.op == Opcode::kJalr) {
+      // Indirect target unknown; treated as a sink.  Returns are modeled by
+      // the jal return edge above.
+      return out;
+    }
+    push(index + 1);
+    return out;
+  }
+
+  void dataflow() {
+    states_.assign(prog_.text.size(), State{});
+    State entry;
+    entry.reachable = true;
+    states_[prog_.entry()] = entry;
+    std::deque<std::uint32_t> worklist{prog_.entry()};
+    while (!worklist.empty()) {
+      const std::uint32_t i = worklist.front();
+      worklist.pop_front();
+      State out = states_[i];
+      if (!out.reachable) continue;
+      transfer(i, out, nullptr);
+      const auto propagate = [&](std::uint32_t succ, const State& st) {
+        if (states_[succ].join_from(st)) worklist.push_back(succ);
+      };
+      for (const std::uint32_t succ : successors(i)) propagate(succ, out);
+      if (prog_.text[i].op == Opcode::kJal &&
+          i + 1 < prog_.text.size()) {
+        // Return edge: the callee may leave anything in the caller-saved
+        // registers, including secret-derived values.  Callee-saved
+        // registers are assumed preserved (O32 convention).
+        State ret = out;
+        for (const isa::Reg r :
+             {isa::kAt, isa::Reg{2},  isa::Reg{3},  isa::Reg{4},  isa::Reg{5},
+              isa::Reg{6}, isa::Reg{7},  isa::Reg{8},  isa::Reg{9},
+              isa::Reg{10}, isa::Reg{11}, isa::Reg{12}, isa::Reg{13},
+              isa::Reg{14}, isa::Reg{15}, isa::Reg{24}, isa::Reg{25},
+              isa::kRa}) {
+          AbsVal unknown;
+          unknown.tainted = any_secret_;
+          ret.regs[r] = unknown;
+        }
+        propagate(i + 1, ret);
+      }
+    }
+  }
+
+  SliceResult classify() {
+    SliceResult result;
+    result.in_slice.assign(prog_.text.size(), false);
+    result.symbol_tainted.resize(prog_.symbols.size());
+    for (std::size_t i = 0; i < prog_.symbols.size(); ++i) {
+      result.symbol_tainted[i] = region_tainted_[i];
+    }
+    for (std::uint32_t i = 0; i < prog_.text.size(); ++i) {
+      if (!states_[i].reachable) continue;
+      State s = states_[i];
+      transfer(i, s, &result);
+    }
+    return result;
+  }
+
+  const Program& prog_;
+  SliceOptions options_;
+  std::vector<bool> region_tainted_;
+  std::vector<std::uint64_t> region_pts_;        // current fixpoint iterate
+  std::vector<std::uint64_t> region_pts_accum_;  // growth observed this pass
+  bool any_secret_;
+  std::vector<State> states_;
+};
+
+}  // namespace
+
+SliceResult forward_slice(const Program& program,
+                          const SliceOptions& options) {
+  return Slicer(program, options).run();
+}
+
+}  // namespace emask::compiler

@@ -1,0 +1,51 @@
+// Abstract values for the forward-slicing dataflow analysis.
+#pragma once
+
+#include <cstdint>
+
+namespace emask::compiler {
+
+/// Abstract state of one register.
+///
+/// * `tainted`: the value may depend on an annotated secret (the forward
+///   slice from the `.secret` seeds, Sec. 4.1 of the paper).
+/// * constant tracking: enough constant folding to see through the
+///   assembler's `la` expansion (lui+ori) so loads/stores resolve to data
+///   symbols.
+/// * `points_to`: bitmask over the program's data symbols the value may
+///   address (bit i = symbols[i]).  Arithmetic unions the masks, which is a
+///   sound over-approximation for base+offset address computation.
+struct AbsVal {
+  bool tainted = false;
+  bool is_const = false;
+  std::uint32_t cval = 0;
+  std::uint64_t points_to = 0;
+
+  /// Control-flow join (lattice least upper bound).
+  [[nodiscard]] AbsVal join(const AbsVal& other) const {
+    AbsVal out;
+    out.tainted = tainted || other.tainted;
+    out.is_const = is_const && other.is_const && cval == other.cval;
+    out.cval = out.is_const ? cval : 0;
+    out.points_to = points_to | other.points_to;
+    return out;
+  }
+
+  bool operator==(const AbsVal&) const = default;
+};
+
+/// Result of a binary operation on abstract values, with optional constant
+/// folding via `fold` (only applied when both inputs are constants).
+template <typename Fold>
+[[nodiscard]] AbsVal combine(const AbsVal& a, const AbsVal& b, Fold&& fold) {
+  AbsVal out;
+  out.tainted = a.tainted || b.tainted;
+  out.points_to = a.points_to | b.points_to;
+  if (a.is_const && b.is_const) {
+    out.is_const = true;
+    out.cval = fold(a.cval, b.cval);
+  }
+  return out;
+}
+
+}  // namespace emask::compiler

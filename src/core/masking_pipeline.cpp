@@ -1,0 +1,66 @@
+#include "core/masking_pipeline.hpp"
+
+#include "assembler/assembler.hpp"
+
+namespace emask::core {
+
+MaskingPipeline MaskingPipeline::des(compiler::Policy policy,
+                                     const energy::TechParams& params,
+                                     const des::DesAsmOptions& asm_options) {
+  // Key/plaintext placeholders; run_des pokes real values per run.
+  const std::string source = des::generate_des_asm(0, 0, asm_options);
+  return from_source(source, policy, params);
+}
+
+MaskingPipeline MaskingPipeline::from_source(const std::string& source,
+                                             compiler::Policy policy,
+                                             const energy::TechParams& params) {
+  assembler::Program program = assembler::assemble(source);
+  compiler::MaskResult masked = compiler::apply_masking(program, policy);
+  return MaskingPipeline(std::move(masked), policy, params);
+}
+
+EncryptionRun MaskingPipeline::simulate(const assembler::Program& program,
+                                        std::uint64_t stop_after_cycles) const {
+  EncryptionRun run;
+  sim::Pipeline pipeline(program, sim_config_);
+  energy::ProcessorEnergyModel model(params_);
+  if (stop_after_cycles == 0) {
+    run.sim = pipeline.run([&](const energy::CycleActivity& activity) {
+      run.trace.push(model.cycle(activity) * 1e12);  // J -> pJ
+    });
+    // The DES convention: a 64-bit-per-word "cipher" symbol.  Other
+    // workloads (AES, SHA-1) expose their outputs through their own
+    // read_* helpers.
+    const assembler::DataSymbol* cipher = program.find_symbol("cipher");
+    if (cipher != nullptr && cipher->size_bytes >= 64 * 4) {
+      run.cipher = des::read_cipher(pipeline.memory(), program);
+    }
+  } else {
+    energy::CycleActivity activity;
+    while (pipeline.cycles() < stop_after_cycles && pipeline.step(activity)) {
+      run.trace.push(model.cycle(activity) * 1e12);
+    }
+    run.sim = pipeline.result();
+  }
+  run.breakdown = model.breakdown();
+  return run;
+}
+
+EncryptionRun MaskingPipeline::run_des(std::uint64_t key,
+                                       std::uint64_t plaintext,
+                                       std::uint64_t stop_after_cycles) const {
+  assembler::Program program = masked_.program;  // copy, then poke inputs
+  des::poke_key(program, key);
+  des::poke_plaintext(program, plaintext);
+  return simulate(program, stop_after_cycles);
+}
+
+EncryptionRun MaskingPipeline::run_raw() const { return simulate(masked_.program); }
+
+EncryptionRun MaskingPipeline::run_image(const assembler::Program& image,
+                                         std::uint64_t stop_after_cycles) const {
+  return simulate(image, stop_after_cycles);
+}
+
+}  // namespace emask::core

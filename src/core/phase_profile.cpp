@@ -1,0 +1,53 @@
+#include "core/phase_profile.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace emask::core {
+
+std::vector<PhaseEnergy> profile_phases(const MaskingPipeline& pipeline,
+                                        const assembler::Program& image) {
+  // Build the phase table from the text labels, ordered by address.
+  std::vector<PhaseEnergy> phases;
+  {
+    std::map<std::uint32_t, std::string> by_index;
+    for (const auto& [label, index] : image.text_labels) {
+      // Keep the first label at each index (multiple labels may alias).
+      by_index.emplace(index, label);
+    }
+    if (by_index.empty() || by_index.begin()->first != 0) {
+      by_index.emplace(0, "(entry)");
+    }
+    for (auto it = by_index.begin(); it != by_index.end(); ++it) {
+      PhaseEnergy phase;
+      phase.label = it->second;
+      phase.begin = it->first;
+      const auto next = std::next(it);
+      phase.end = next != by_index.end()
+                      ? next->first
+                      : static_cast<std::uint32_t>(image.text.size());
+      phases.push_back(std::move(phase));
+    }
+  }
+  const auto phase_of = [&](std::uint32_t index) -> PhaseEnergy& {
+    auto it = std::upper_bound(
+        phases.begin(), phases.end(), index,
+        [](std::uint32_t i, const PhaseEnergy& p) { return i < p.begin; });
+    return *(it == phases.begin() ? it : std::prev(it));
+  };
+
+  sim::Pipeline machine(image, pipeline.sim_config());
+  energy::ProcessorEnergyModel model(pipeline.params());
+  energy::CycleActivity a;
+  PhaseEnergy* current = &phases.front();
+  while (!machine.halted()) {
+    machine.step(a);
+    const double joules = model.cycle(a);
+    if (a.retired) current = &phase_of(a.retire_pc);
+    current->cycles += 1;
+    current->energy_uj += joules * 1e6;
+  }
+  return phases;
+}
+
+}  // namespace emask::core

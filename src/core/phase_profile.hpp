@@ -1,0 +1,36 @@
+// Phase-level energy profiling: energy per labelled program region.
+//
+// Text labels partition the instruction index space; each cycle's energy
+// is attributed to the phase of the instruction retiring that cycle.  For
+// the DES program this reproduces, in numbers, what the paper's Fig. 6
+// shows as a picture: how much each permutation/round phase consumes, and
+// (diffing two policies) where the masking overhead concentrates.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/masking_pipeline.hpp"
+
+namespace emask::core {
+
+struct PhaseEnergy {
+  std::string label;          // the phase's leading text label
+  std::uint32_t begin = 0;    // instruction index range [begin, end)
+  std::uint32_t end = 0;
+  std::uint64_t cycles = 0;
+  double energy_uj = 0.0;
+
+  [[nodiscard]] double pj_per_cycle() const {
+    return cycles ? energy_uj * 1e6 / static_cast<double>(cycles) : 0.0;
+  }
+};
+
+/// Profiles one run of `image` (an instance of pipeline.program()) and
+/// returns per-phase totals, ordered by first instruction index.  Bubble
+/// and stall cycles attribute to the phase of the most recent retirement.
+[[nodiscard]] std::vector<PhaseEnergy> profile_phases(
+    const MaskingPipeline& pipeline, const assembler::Program& image);
+
+}  // namespace emask::core

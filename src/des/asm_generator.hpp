@@ -1,0 +1,52 @@
+// Generates the DES encryption program in the target assembly language.
+//
+// The program follows the paper's software structure exactly (Fig. 2):
+// bit-per-word data layout ("newL[i] = oldR[i]", Fig. 4), table-driven
+// permutations, sixteen identical rounds with in-round key generation, and
+// S-box lookups implemented as table indexing with a key-derived offset.
+//
+// Annotations emitted:
+//   * `.secret key`           — the seed for the compiler's forward slice;
+//   * `.declassified preout`  +
+//     `.declassified cipher`  — the output inverse permutation carries only
+//     information already public in the ciphertext (Sec. 4.1), so its
+//     assignments stay insecure exactly as in Fig. 2(b).
+//
+// Secret-dependent computation is restricted, by construction, to the four
+// operation classes the paper defines secure versions for — assignment
+// (lw/sw), XOR, shift, and indexing — so the selective compiler can cover
+// the whole slice (tests assert there are no diagnostics).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "assembler/program.hpp"
+#include "sim/memory.hpp"
+
+namespace emask::des {
+
+struct DesAsmOptions {
+  bool secret_key = true;          // emit `.secret key`
+  bool declassify_output = true;   // emit `.declassified preout/cipher`
+  /// Generate the decryption program: the key schedule runs in reverse
+  /// (rotate-right with the shift schedule 0,1,2,2,... so round m uses
+  /// K(17-m)); everything else is identical to encryption.
+  bool decrypt = false;
+};
+
+/// Emits the complete assembly source for encrypting one block.
+[[nodiscard]] std::string generate_des_asm(std::uint64_t key,
+                                           std::uint64_t plaintext,
+                                           const DesAsmOptions& options = {});
+
+/// Replaces the 64 bit-words of `key` / `plain` in an assembled program
+/// image (so one assembly + compilation can serve many runs).
+void poke_key(assembler::Program& program, std::uint64_t key);
+void poke_plaintext(assembler::Program& program, std::uint64_t plaintext);
+
+/// Packs the 64 bit-words of the `cipher` symbol from simulated memory.
+[[nodiscard]] std::uint64_t read_cipher(const sim::DataMemory& memory,
+                                        const assembler::Program& program);
+
+}  // namespace emask::des

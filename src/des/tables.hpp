@@ -1,0 +1,24 @@
+// FIPS 46-3 DES tables.
+//
+// All permutation tables use the standard's 1-based, MSB-first bit
+// numbering: an entry value v selects bit v of the input, where bit 1 is
+// the most significant bit.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace emask::des {
+
+extern const std::array<int, 64> kIp;        // initial permutation
+extern const std::array<int, 64> kIpInv;     // final permutation (IP^-1)
+extern const std::array<int, 48> kE;         // expansion
+extern const std::array<int, 32> kP;         // round permutation
+extern const std::array<int, 56> kPc1;       // permuted choice 1
+extern const std::array<int, 48> kPc2;       // permuted choice 2
+extern const std::array<int, 16> kShifts;    // per-round key rotations
+
+// S-boxes: kSbox[s][row*16 + col], s in [0,8), row in [0,4), col in [0,16).
+extern const std::array<std::array<std::uint8_t, 64>, 8> kSbox;
+
+}  // namespace emask::des

@@ -1,0 +1,50 @@
+#include "dualrail/adder_unit.hpp"
+
+#include "util/bitops.hpp"
+
+namespace emask::dualrail {
+
+DualRailAdder32::DualRailAdder32(double node_cap_farads, double vdd) {
+  for (int i = 0; i < 32; ++i) {
+    sum_true_.emplace_back(node_cap_farads, vdd);
+    sum_comp_.emplace_back(node_cap_farads, vdd);
+    carry_true_.emplace_back(node_cap_farads, vdd);
+    carry_comp_.emplace_back(node_cap_farads, vdd);
+  }
+}
+
+CycleEnergy DualRailAdder32::cycle(std::uint32_t a, std::uint32_t b,
+                                   bool secure) {
+  CycleEnergy e;
+  for (int i = 0; i < 32; ++i) {
+    e.precharge += sum_true_[static_cast<std::size_t>(i)].precharge();
+    e.precharge += sum_comp_[static_cast<std::size_t>(i)].precharge();
+    e.precharge += carry_true_[static_cast<std::size_t>(i)].precharge();
+    e.precharge += carry_comp_[static_cast<std::size_t>(i)].precharge();
+  }
+  // Evaluate: ripple the carries, discharging nodes as values resolve.
+  discharged_ = 0;
+  std::uint32_t carry = 0;
+  std::uint32_t sum = 0;
+  for (unsigned i = 0; i < 32; ++i) {
+    const std::uint32_t ai = util::bit_of(a, i);
+    const std::uint32_t bi = util::bit_of(b, i);
+    const std::uint32_t si = ai ^ bi ^ carry;
+    const std::uint32_t ci =
+        (ai & bi) | (ai & carry) | (bi & carry);  // carry out of bit i
+    sum |= si << i;
+    sum_true_[i].evaluate(si != 0);
+    carry_true_[i].evaluate(ci != 0);
+    discharged_ += static_cast<int>(si + ci);
+    if (secure) {
+      sum_comp_[i].evaluate(si == 0);
+      carry_comp_[i].evaluate(ci == 0);
+      discharged_ += static_cast<int>((1 - si) + (1 - ci));
+    }
+    carry = ci;
+  }
+  result_ = sum;
+  return e;
+}
+
+}  // namespace emask::dualrail

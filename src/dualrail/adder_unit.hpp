@@ -1,0 +1,45 @@
+// 32-bit dual-rail pre-charged ripple-carry adder.
+//
+// The paper's Fig. 3 routes the *address calculation* through complementary
+// logic for secure loads/stores ("ALU Address Calculation" with a parallel
+// complementary path).  This is the gate-level model of that structure,
+// companion to the XOR unit of Fig. 5: per bit, dynamic nodes for the sum
+// and the carry; the complementary rail computes their negations.  In
+// secure mode exactly one node of every true/complement pair discharges
+// per evaluation — 64 discharges, data-independent — while the normal
+// (gated) mode discharges popcount(sum) + popcount(carries) nodes.
+//
+// The processor energy model keeps its calibrated analytic adder; this
+// circuit exists to validate the "secure adder energy is constant"
+// assumption at gate level (see dualrail_test and the Fig. 3 discussion in
+// docs/ARCHITECTURE.md).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dualrail/dynamic_gate.hpp"
+#include "dualrail/xor_unit.hpp"  // CycleEnergy
+
+namespace emask::dualrail {
+
+class DualRailAdder32 {
+ public:
+  DualRailAdder32(double node_cap_farads, double vdd);
+
+  /// One pre-charge + evaluate cycle computing a + b.
+  CycleEnergy cycle(std::uint32_t a, std::uint32_t b, bool secure);
+
+  [[nodiscard]] std::uint32_t result() const { return result_; }
+  [[nodiscard]] int discharged_nodes() const { return discharged_; }
+
+ private:
+  std::vector<DynamicNode> sum_true_;
+  std::vector<DynamicNode> sum_comp_;
+  std::vector<DynamicNode> carry_true_;
+  std::vector<DynamicNode> carry_comp_;
+  std::uint32_t result_ = 0;
+  int discharged_ = 0;
+};
+
+}  // namespace emask::dualrail

@@ -1,0 +1,49 @@
+// Dynamic (pre-charged / domino style) logic node model.
+//
+// The paper's countermeasure hardware (Fig. 5) is built from dynamic gates:
+// in the first clock phase (v = 0) the output node is pre-charged to 1; in
+// the evaluation phase (v = 1) the pull-down network conditionally
+// discharges it.  Supply energy is drawn whenever a node is re-charged after
+// having been discharged, so per-cycle energy is
+//     E = C_node * Vdd^2 * (#nodes recharged this cycle).
+// A dual-rail pair (true + complement) guarantees exactly one of the two
+// nodes discharges every evaluation, making the count — and the energy —
+// input-independent.
+#pragma once
+
+namespace emask::dualrail {
+
+/// One pre-charged output node.  Tracks whether the node currently holds
+/// charge and meters the supply energy drawn by pre-charging.
+class DynamicNode {
+ public:
+  /// `node_cap_farads` is the output node capacitance, `vdd` the supply.
+  DynamicNode(double node_cap_farads, double vdd)
+      : recharge_energy_joules_(node_cap_farads * vdd * vdd) {}
+
+  /// Pre-charge phase: recharges the node if it was discharged.
+  /// Returns the supply energy drawn, in joules.
+  double precharge() {
+    if (charged_) return 0.0;
+    charged_ = true;
+    return recharge_energy_joules_;
+  }
+
+  /// Evaluation phase: `pulldown_active` is the value of the pull-down
+  /// network (true = node discharges).  Discharging draws no supply energy
+  /// (the charge flows to ground); the cost is paid at the next pre-charge.
+  void evaluate(bool pulldown_active) {
+    if (pulldown_active) charged_ = false;
+  }
+
+  [[nodiscard]] bool charged() const { return charged_; }
+
+  /// Logic value at the end of evaluation: 1 if still charged.
+  [[nodiscard]] bool output() const { return charged_; }
+
+ private:
+  double recharge_energy_joules_;
+  bool charged_ = true;  // powered up in the pre-charged state
+};
+
+}  // namespace emask::dualrail

@@ -1,0 +1,27 @@
+#include "dualrail/precharged_bus.hpp"
+
+#include "util/bitops.hpp"
+
+namespace emask::dualrail {
+
+double StaticBus::transfer(std::uint32_t value) {
+  const std::uint32_t mask =
+      width_ >= 32 ? 0xFFFFFFFFu : ((1u << width_) - 1u);
+  const std::uint32_t rising = (~last_ & value) & mask;
+  last_ = value & mask;
+  return line_energy_joules_ * util::popcount(rising);
+}
+
+double PrechargedDualRailBus::transfer(std::uint32_t value) {
+  (void)value;  // by construction the energy does not depend on the data
+  // Pre-charge phase: recharge the lines discharged last cycle.  In steady
+  // state exactly `width_` of the 2*width_ lines discharged (one per
+  // true/complement pair).  On the very first cycle nothing needs charging
+  // (power-up leaves all lines high), so only the evaluation discharge
+  // happens and the recharge cost appears from the second cycle on.
+  last_recharged_ = warm_ ? width_ : 0;
+  warm_ = true;
+  return line_energy_joules_ * last_recharged_;
+}
+
+}  // namespace emask::dualrail

@@ -1,0 +1,61 @@
+// Bus models: a conventional static bus and the paper's pre-charged
+// dual-rail bus.
+//
+// Conventional bus: energy is drawn when a line is driven 0 -> 1
+// (E = C_wire * Vdd^2 per rising line), so it depends on the Hamming
+// relationship between consecutively transmitted words.  The paper's worked
+// example: a 1 pF wire at 2.5 V costs 6.25 pJ more when a bit goes 0,1 in
+// successive cycles than when it stays 0,0.
+//
+// Secure bus (paper Section 4.2): the 32 data lines are doubled to 64
+// (normal + complement) and pre-charged to 1 in the first clock phase; in
+// the evaluation phase exactly 32 lines discharge.  Every subsequent cycle
+// therefore recharges exactly 32 lines: energy is constant and independent
+// of the transmitted data.
+#pragma once
+
+#include <cstdint>
+
+namespace emask::dualrail {
+
+/// Conventional single-rail static bus of `width` lines.
+class StaticBus {
+ public:
+  StaticBus(int width, double wire_cap_farads, double vdd)
+      : width_(width), line_energy_joules_(wire_cap_farads * vdd * vdd) {}
+
+  /// Drives `value` onto the bus; returns supply energy drawn (rising
+  /// transitions only), in joules.
+  double transfer(std::uint32_t value);
+
+  [[nodiscard]] std::uint32_t last_value() const { return last_; }
+  [[nodiscard]] int width() const { return width_; }
+
+ private:
+  int width_;
+  double line_energy_joules_;
+  std::uint32_t last_ = 0;
+};
+
+/// Pre-charged dual-rail bus: 2 * `width` physical lines.
+class PrechargedDualRailBus {
+ public:
+  PrechargedDualRailBus(int width, double wire_cap_farads, double vdd)
+      : width_(width), line_energy_joules_(wire_cap_farads * vdd * vdd) {}
+
+  /// One full cycle: pre-charge all lines, then evaluate with `value`.
+  /// Returns supply energy drawn, in joules — constant after the first
+  /// cycle (width_ lines recharge per cycle, independent of `value`).
+  double transfer(std::uint32_t value);
+
+  /// Lines recharged during the last transfer (== width_ in steady state).
+  [[nodiscard]] int last_recharged() const { return last_recharged_; }
+
+ private:
+  int width_;
+  double line_energy_joules_;
+  bool warm_ = false;  // false until the first evaluation has discharged
+  int last_recharged_ = 0;
+};
+
+}  // namespace emask::dualrail

@@ -1,0 +1,56 @@
+// Component taxonomy for per-cycle energy accounting.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string_view>
+
+namespace emask::energy {
+
+enum class Component : int {
+  kClockTree,
+  kFetchArray,
+  kInstrBus,
+  kDecode,
+  kRegFile,
+  kAdder,
+  kLogicUnit,
+  kShifter,
+  kXorUnit,
+  kPipeIfId,
+  kPipeIdEx,
+  kPipeExMem,
+  kPipeMemWb,
+  kAddrBus,
+  kDataBus,
+  kMemArray,
+  kDummyLoad,
+  kCount,
+};
+
+inline constexpr std::size_t kNumComponents =
+    static_cast<std::size_t>(Component::kCount);
+
+[[nodiscard]] std::string_view component_name(Component c);
+
+/// Per-component energy totals, in joules.
+class Breakdown {
+ public:
+  void add(Component c, double joules) {
+    values_[static_cast<std::size_t>(c)] += joules;
+  }
+  [[nodiscard]] double get(Component c) const {
+    return values_[static_cast<std::size_t>(c)];
+  }
+  [[nodiscard]] double total() const {
+    double sum = 0.0;
+    for (double v : values_) sum += v;
+    return sum;
+  }
+  void clear() { values_.fill(0.0); }
+
+ private:
+  std::array<double, kNumComponents> values_{};
+};
+
+}  // namespace emask::energy

@@ -1,0 +1,119 @@
+#include "energy/model.hpp"
+
+namespace emask::energy {
+
+namespace {
+constexpr std::array<std::string_view, kNumComponents> kComponentNames = {
+    "clock_tree", "fetch_array", "instr_bus", "decode",      "reg_file",
+    "adder",      "logic_unit",  "shifter",   "xor_unit",    "pipe_if_id",
+    "pipe_id_ex", "pipe_ex_mem", "pipe_mem_wb", "addr_bus",  "data_bus",
+    "mem_array",  "dummy_load"};
+}  // namespace
+
+std::string_view component_name(Component c) {
+  return kComponentNames[static_cast<std::size_t>(c)];
+}
+
+ProcessorEnergyModel::ProcessorEnergyModel(const TechParams& params)
+    : params_(params),
+      instr_bus_(33, params.line_energy(params.c_instr_bus_line),
+                 params.line_energy(params.c_bus_coupling)),
+      addr_bus_(32, params.line_energy(params.c_addr_bus_line),
+                params.line_energy(params.c_bus_coupling)),
+      data_bus_(32, params.line_energy(params.c_data_bus_line),
+                params.line_energy(params.c_bus_coupling)),
+      latch_(params.line_energy(params.c_latch_bit)),
+      adder_(params.line_energy(params.c_adder_node), params.e_unit_base),
+      logic_(params.line_energy(params.c_logic_node), params.e_unit_base),
+      shifter_(params.line_energy(params.c_shift_node), params.e_unit_base),
+      xor_unit_(params.c_xor_node, params.vdd) {}
+
+double ProcessorEnergyModel::cycle(const CycleActivity& a) {
+  // Accumulate this cycle's energy locally (exact, history-independent sum)
+  // and fold it into the running per-component breakdown.  Computing the
+  // cycle energy as a difference of running totals would contaminate it
+  // with floating-point rounding that depends on the accumulated history.
+  double cycle_energy = 0.0;
+  const auto charge = [&](Component c, double joules) {
+    cycle_energy += joules;
+    breakdown_.add(c, joules);
+  };
+
+  // Clock tree and global control run every cycle.
+  charge(Component::kClockTree, params_.e_clock_tree);
+
+  // IF: instruction memory array (data-independent) + instruction bus
+  // (depends on the bit-level Hamming relationship of consecutive fetches).
+  if (a.fetch) {
+    charge(Component::kFetchArray, params_.e_fetch_array);
+    // The 33-bit word is wider than the 32-bit bus model; split it as a
+    // 32-bit transfer plus the secure bit folded into bit 0 cost — in
+    // practice the secure bit toggles rarely and contributes negligibly.
+    charge(Component::kInstrBus,
+                   instr_bus_.transfer(
+                       static_cast<std::uint32_t>(a.fetch_bits & 0xFFFFFFFFu),
+                       /*secure=*/false));
+  }
+
+  // ID: decoder + register-file reads (both data-independent; the register
+  // file "can be considered as another memory array", Sec. 4.2).
+  if (a.decode) charge(Component::kDecode, params_.e_decode);
+  if (a.rf_reads > 0) {
+    charge(Component::kRegFile, params_.e_rf_read * a.rf_reads);
+  }
+
+  // EX: one dynamic functional unit evaluates.
+  if (a.ex.valid) {
+    switch (a.ex.unit) {
+      case isa::FuncUnit::kAdder:
+        charge(Component::kAdder,
+                       adder_.evaluate(a.ex.result, a.ex.secure));
+        break;
+      case isa::FuncUnit::kLogic:
+        charge(Component::kLogicUnit,
+                       logic_.evaluate(a.ex.result, a.ex.secure));
+        break;
+      case isa::FuncUnit::kShifter:
+        charge(Component::kShifter,
+                       shifter_.evaluate(a.ex.result, a.ex.secure));
+        break;
+      case isa::FuncUnit::kXorUnit:
+        // Driven by the gate-level pre-charged dual-rail circuit of Fig. 5.
+        charge(Component::kXorUnit,
+                       xor_unit_.cycle(a.ex.a, a.ex.b, a.ex.secure).total());
+        break;
+      case isa::FuncUnit::kNone:
+        break;
+    }
+  }
+
+  // MEM: SRAM array is data-independent (differential reads), but the
+  // address and data buses between the core and the array are not.
+  if (a.mem.read || a.mem.write) {
+    charge(Component::kMemArray,
+                   a.mem.read ? params_.e_mem_read : params_.e_mem_write);
+    charge(Component::kAddrBus,
+                   addr_bus_.transfer(a.mem.address, a.mem.secure));
+    charge(Component::kDataBus,
+                   data_bus_.transfer(a.mem.data, a.mem.secure));
+  }
+
+  // WB: register-file write (data-independent) and, for secure
+  // instructions, the dummy capacitive load that terminates the
+  // complementary rail (Sec. 4.2, Fig. 3).
+  if (a.rf_write) charge(Component::kRegFile, params_.e_rf_write);
+  if (a.wb_secure) charge(Component::kDummyLoad, params_.e_dummy_load);
+
+  // Pipeline registers written at the clock edge.
+  const auto latch = [&](Component c, const LatchWrite& w) {
+    if (w.wrote) charge(c, latch_.write(w.payload, w.width, w.secure));
+  };
+  latch(Component::kPipeIfId, a.if_id);
+  latch(Component::kPipeIdEx, a.id_ex);
+  latch(Component::kPipeExMem, a.ex_mem);
+  latch(Component::kPipeMemWb, a.mem_wb);
+
+  return cycle_energy;
+}
+
+}  // namespace emask::energy

@@ -1,0 +1,44 @@
+// Transition-sensitive processor energy model (SimplePower-style back end).
+//
+// Consumes one CycleActivity per clock from the pipeline simulator and
+// produces energy in joules, split by component.  See params.hpp for the
+// modeling conventions and calibration targets.
+#pragma once
+
+#include <cstdint>
+
+#include "dualrail/xor_unit.hpp"
+#include "energy/activity.hpp"
+#include "energy/components.hpp"
+#include "energy/maskable.hpp"
+#include "energy/params.hpp"
+
+namespace emask::energy {
+
+class ProcessorEnergyModel {
+ public:
+  explicit ProcessorEnergyModel(const TechParams& params = TechParams::smartcard_025um());
+
+  /// Accounts one clock cycle of activity; returns this cycle's energy in
+  /// joules (also accumulated into the running breakdown).
+  double cycle(const CycleActivity& activity);
+
+  [[nodiscard]] const Breakdown& breakdown() const { return breakdown_; }
+  [[nodiscard]] double total_joules() const { return breakdown_.total(); }
+  [[nodiscard]] const TechParams& params() const { return params_; }
+
+ private:
+  TechParams params_;
+  Breakdown breakdown_;
+
+  MaskableBus instr_bus_;
+  MaskableBus addr_bus_;
+  MaskableBus data_bus_;
+  MaskableLatch latch_;
+  DynamicUnit adder_;
+  DynamicUnit logic_;
+  DynamicUnit shifter_;
+  dualrail::DualRailXor32 xor_unit_;  // the gate-level circuit of Fig. 5
+};
+
+}  // namespace emask::energy

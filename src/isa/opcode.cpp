@@ -1,0 +1,71 @@
+#include "isa/opcode.hpp"
+
+#include <array>
+
+namespace emask::isa {
+namespace {
+
+constexpr OpcodeInfo make(std::string_view m, Format f, FuncUnit u,
+                          bool load = false, bool store = false,
+                          bool branch = false, bool jump = false,
+                          bool writes = true, bool securable = false) {
+  return OpcodeInfo{m, f, u, load, store, branch, jump, writes, securable};
+}
+
+// Indexed by static_cast<int>(Opcode).
+constexpr std::array<OpcodeInfo, kNumOpcodes> kTable = {{
+    // mnemonic  format                unit                ld     st     br     jp     wr     sec
+    make("addu", Format::kRegister, FuncUnit::kAdder, false, false, false, false, true, true),
+    make("subu", Format::kRegister, FuncUnit::kAdder),
+    make("and", Format::kRegister, FuncUnit::kLogic, false, false, false, false, true, true),
+    make("or", Format::kRegister, FuncUnit::kLogic, false, false, false, false, true, true),
+    make("xor", Format::kRegister, FuncUnit::kXorUnit, false, false, false, false, true, true),
+    make("nor", Format::kRegister, FuncUnit::kLogic, false, false, false, false, true, true),
+    make("slt", Format::kRegister, FuncUnit::kAdder),
+    make("sltu", Format::kRegister, FuncUnit::kAdder),
+    make("sllv", Format::kRegister, FuncUnit::kShifter, false, false, false, false, true, true),
+    make("srlv", Format::kRegister, FuncUnit::kShifter, false, false, false, false, true, true),
+    make("srav", Format::kRegister, FuncUnit::kShifter, false, false, false, false, true, true),
+    make("addiu", Format::kImmediate, FuncUnit::kAdder, false, false, false, false, true, true),
+    make("andi", Format::kImmediate, FuncUnit::kLogic, false, false, false, false, true, true),
+    make("ori", Format::kImmediate, FuncUnit::kLogic, false, false, false, false, true, true),
+    make("xori", Format::kImmediate, FuncUnit::kXorUnit, false, false, false, false, true, true),
+    make("slti", Format::kImmediate, FuncUnit::kAdder),
+    make("sltiu", Format::kImmediate, FuncUnit::kAdder),
+    make("lui", Format::kImmediate, FuncUnit::kNone),
+    make("sll", Format::kShiftImm, FuncUnit::kShifter, false, false, false, false, true, true),
+    make("srl", Format::kShiftImm, FuncUnit::kShifter, false, false, false, false, true, true),
+    make("sra", Format::kShiftImm, FuncUnit::kShifter, false, false, false, false, true, true),
+    make("lw", Format::kLoadStore, FuncUnit::kAdder, true, false, false, false, true, true),
+    make("sw", Format::kLoadStore, FuncUnit::kAdder, false, true, false, false, false, true),
+    make("beq", Format::kBranch, FuncUnit::kAdder, false, false, true, false, false),
+    make("bne", Format::kBranch, FuncUnit::kAdder, false, false, true, false, false),
+    make("blez", Format::kBranch, FuncUnit::kAdder, false, false, true, false, false),
+    make("bgtz", Format::kBranch, FuncUnit::kAdder, false, false, true, false, false),
+    make("bltz", Format::kBranch, FuncUnit::kAdder, false, false, true, false, false),
+    make("bgez", Format::kBranch, FuncUnit::kAdder, false, false, true, false, false),
+    make("j", Format::kJump, FuncUnit::kNone, false, false, false, true, false),
+    make("jal", Format::kJump, FuncUnit::kNone, false, false, false, true, true),
+    make("jr", Format::kJumpReg, FuncUnit::kNone, false, false, false, true, false),
+    make("jalr", Format::kJumpReg, FuncUnit::kNone, false, false, false, true, true),
+    make("halt", Format::kNullary, FuncUnit::kNone, false, false, false, false, false),
+}};
+
+}  // namespace
+
+const OpcodeInfo& info(Opcode op) noexcept {
+  return kTable[static_cast<int>(op)];
+}
+
+std::string_view mnemonic(Opcode op) noexcept { return info(op).mnemonic; }
+
+std::optional<Opcode> opcode_from_mnemonic(std::string_view m) {
+  for (int i = 0; i < kNumOpcodes; ++i) {
+    if (kTable[static_cast<std::size_t>(i)].mnemonic == m) {
+      return static_cast<Opcode>(i);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace emask::isa

@@ -1,0 +1,119 @@
+// Instruction set of the modeled smart-card processor.
+//
+// The paper targets the SimpleScalar (PISA) integer ISA on a five-stage
+// in-order pipeline, "representative of current embedded 32-bit RISC cores
+// used in smart cards such as the ARM7-TDMI".  We define an equivalent
+// MIPS-flavoured integer subset.  Each instruction additionally carries a
+// *secure bit* (the paper's chosen encoding option: "augmenting the original
+// opcodes with an additional secure bit" to minimize decode-logic impact).
+// When the secure bit is set, the dual-rail/pre-charged versions of the
+// datapath structures the instruction exercises are activated, making the
+// switched capacitance — and hence the energy — independent of operand data.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace emask::isa {
+
+enum class Opcode : std::uint8_t {
+  // R-type ALU.
+  kAddu,
+  kSubu,
+  kAnd,
+  kOr,
+  kXor,
+  kNor,
+  kSlt,
+  kSltu,
+  kSllv,
+  kSrlv,
+  kSrav,
+  // I-type ALU.
+  kAddiu,
+  kAndi,
+  kOri,
+  kXori,
+  kSlti,
+  kSltiu,
+  kLui,
+  // Shifts by immediate (R-type with shamt).
+  kSll,
+  kSrl,
+  kSra,
+  // Memory.
+  kLw,
+  kSw,
+  // Control flow.
+  kBeq,
+  kBne,
+  kBlez,
+  kBgtz,
+  kBltz,
+  kBgez,
+  kJ,
+  kJal,
+  kJr,
+  kJalr,
+  // Simulation control: stops the pipeline after write-back.
+  kHalt,
+};
+
+/// Number of distinct opcodes (for table sizing).
+inline constexpr int kNumOpcodes = static_cast<int>(Opcode::kHalt) + 1;
+
+/// Instruction format, used by the encoder and the assembler.
+enum class Format : std::uint8_t {
+  kRegister,    // op rd, rs, rt
+  kShiftImm,    // op rd, rt, shamt
+  kImmediate,   // op rt, rs, imm16
+  kLoadStore,   // op rt, imm16(rs)
+  kBranch,      // op rs, rt, label   (or one-register compare against zero)
+  kJump,        // op target
+  kJumpReg,     // op rs  /  op rd, rs
+  kNullary,     // op
+};
+
+/// Functional unit exercised in the EX stage.  The energy model keeps one
+/// transition-sensitive model per unit; the paper singles out the XOR unit
+/// (Fig. 5) because DES's round function is XOR-dominated.
+enum class FuncUnit : std::uint8_t {
+  kNone,
+  kAdder,    // addu/subu/slt/address generation
+  kLogic,    // and/or/nor
+  kXorUnit,  // xor/xori — the pre-charged complementary circuit of Fig. 5
+  kShifter,  // sll/srl/sra and variable forms
+};
+
+/// Static properties of an opcode.
+struct OpcodeInfo {
+  std::string_view mnemonic;
+  Format format;
+  FuncUnit unit;
+  bool is_load;
+  bool is_store;
+  bool is_branch;  // conditional branches only
+  bool is_jump;    // unconditional j/jal/jr/jalr
+  bool writes_rd;  // writes a destination register
+  /// True if the instruction has a secure (dual-rail) version the selective
+  /// compiler may emit.  The paper defines four classes — assignment
+  /// (lw/sw/move), XOR, shift, and indexing — which are exactly what DES
+  /// needs.  We additionally provide secure and/andi/nor (the same
+  /// complementary-logic construction on the logic unit): they are never
+  /// exercised by DES but are required to cover other kernels, e.g. the
+  /// Ch/Maj functions of SHA-1 (see the keyed-hash experiment).
+  bool securable;
+};
+
+/// Lookup table access (never fails for a valid enum value).
+[[nodiscard]] const OpcodeInfo& info(Opcode op) noexcept;
+
+/// Canonical mnemonic ("addu", "lw", ...).
+[[nodiscard]] std::string_view mnemonic(Opcode op) noexcept;
+
+/// Parses a canonical mnemonic.  Does NOT accept the "s"-prefixed secure
+/// spellings; the assembler strips the prefix first.
+[[nodiscard]] std::optional<Opcode> opcode_from_mnemonic(std::string_view m);
+
+}  // namespace emask::isa

@@ -1,0 +1,41 @@
+#include "isa/registers.hpp"
+
+#include <array>
+#include <charconv>
+
+namespace emask::isa {
+namespace {
+
+constexpr std::array<std::string_view, kNumRegisters> kNames = {
+    "$zero", "$at", "$v0", "$v1", "$a0", "$a1", "$a2", "$a3",
+    "$t0",   "$t1", "$t2", "$t3", "$t4", "$t5", "$t6", "$t7",
+    "$s0",   "$s1", "$s2", "$s3", "$s4", "$s5", "$s6", "$s7",
+    "$t8",   "$t9", "$k0", "$k1", "$gp", "$sp", "$fp", "$ra"};
+
+}  // namespace
+
+std::string_view reg_name(Reg r) { return kNames[r % kNumRegisters]; }
+
+std::optional<Reg> parse_reg(std::string_view text) {
+  if (text.size() < 2 || text[0] != '$') return std::nullopt;
+  // Numeric form: $0 .. $31.
+  const std::string_view body = text.substr(1);
+  if (body[0] >= '0' && body[0] <= '9') {
+    int value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(body.data(), body.data() + body.size(), value);
+    if (ec != std::errc{} || ptr != body.data() + body.size()) {
+      return std::nullopt;
+    }
+    if (value < 0 || value >= kNumRegisters) return std::nullopt;
+    return static_cast<Reg>(value);
+  }
+  for (int i = 0; i < kNumRegisters; ++i) {
+    if (kNames[static_cast<std::size_t>(i)] == text) {
+      return static_cast<Reg>(i);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace emask::isa

@@ -1,0 +1,34 @@
+// Architectural register file naming (MIPS O32-style conventions).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace emask::isa {
+
+inline constexpr int kNumRegisters = 32;
+
+/// A register number in [0, 32).  Register 0 is hardwired to zero.
+using Reg = std::uint8_t;
+
+inline constexpr Reg kZero = 0;
+inline constexpr Reg kAt = 1;
+inline constexpr Reg kV0 = 2;
+inline constexpr Reg kA0 = 4;
+inline constexpr Reg kT0 = 8;
+inline constexpr Reg kS0 = 16;
+inline constexpr Reg kGp = 28;
+inline constexpr Reg kSp = 29;
+inline constexpr Reg kFp = 30;
+inline constexpr Reg kRa = 31;
+
+/// ABI name of a register, e.g. "$t0".
+[[nodiscard]] std::string_view reg_name(Reg r);
+
+/// Parses "$t0", "$zero", "$5", "$31", ...  Returns nullopt if malformed
+/// or out of range.
+[[nodiscard]] std::optional<Reg> parse_reg(std::string_view text);
+
+}  // namespace emask::isa

@@ -1,0 +1,37 @@
+// Golden SHA-1 (FIPS 180-1, the "Secure Hash Standard" the paper cites as
+// reference [10]).
+//
+// Used by the keyed-hash generality experiment: the paper argues its
+// masking approach "is general and can be extended to other algorithms";
+// SHA-1's compression function is the natural second workload (secret-
+// prefixed MAC construction) and — unlike DES — exercises the logic unit
+// (Ch/Maj), motivating the secure and/nor extension of the ISA.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace emask::sha {
+
+/// The five 32-bit chaining variables.
+struct Sha1State {
+  std::array<std::uint32_t, 5> h;
+};
+
+/// FIPS initial state H0..H4.
+[[nodiscard]] Sha1State sha1_init();
+
+/// One compression: absorbs a 512-bit block (16 big-endian words).
+void sha1_compress(Sha1State& state,
+                   const std::array<std::uint32_t, 16>& block);
+
+/// Full padded hash of a byte string.
+[[nodiscard]] std::array<std::uint8_t, 20> sha1(
+    const std::vector<std::uint8_t>& data);
+
+/// Convenience: hash of an ASCII string, hex-encoded.
+[[nodiscard]] std::string sha1_hex(const std::string& text);
+
+}  // namespace emask::sha

@@ -1,0 +1,34 @@
+#include "sim/cache.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace emask::sim {
+
+DirectMappedCache::DirectMappedCache(const CacheConfig& config)
+    : config_(config) {
+  if (config.line_bytes == 0 || config.size_bytes == 0 ||
+      config.size_bytes % config.line_bytes != 0 ||
+      !std::has_single_bit(config.line_bytes) ||
+      !std::has_single_bit(config.size_bytes)) {
+    throw std::invalid_argument(
+        "DirectMappedCache: size and line must be powers of two");
+  }
+  num_lines_ = config.size_bytes / config.line_bytes;
+  tags_.assign(num_lines_, 0);
+}
+
+bool DirectMappedCache::access(std::uint32_t address) {
+  const std::uint32_t line = address / config_.line_bytes;
+  const std::uint32_t index = line % num_lines_;
+  const std::uint64_t tag = static_cast<std::uint64_t>(line / num_lines_) + 1;
+  if (tags_[index] == tag) {
+    ++hits_;
+    return true;
+  }
+  tags_[index] = tag;
+  ++misses_;
+  return false;
+}
+
+}  // namespace emask::sim

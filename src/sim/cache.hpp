@@ -1,0 +1,49 @@
+// Optional direct-mapped data cache (timing model).
+//
+// The modeled smart-card core is cacheless by default — the paper's class
+// of device runs from single-cycle on-chip SRAM, and the paper's security
+// argument implicitly depends on that: a data cache makes *timing* a
+// function of the access-address history, and DES/AES S-box lookups use
+// secret-derived addresses.  The cache-timing ablation
+// (bench_ext_cache_timing) shows that adding an ordinary D-cache
+// reintroduces a key-dependent timing channel that no amount of power
+// masking closes — the cache-attack line of work contemporary with the
+// paper (Kelsey et al., later Bernstein/Percival).
+//
+// The model is tags-only: data correctness is handled by the backing SRAM
+// model; the cache contributes hit/miss *timing* (and a refill energy
+// event).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace emask::sim {
+
+struct CacheConfig {
+  std::uint32_t size_bytes = 1024;
+  std::uint32_t line_bytes = 32;
+  std::uint32_t miss_penalty = 8;  // extra cycles per miss
+};
+
+class DirectMappedCache {
+ public:
+  explicit DirectMappedCache(const CacheConfig& config);
+
+  /// Looks up (and on miss, fills) the line holding `address`.
+  /// Returns true on hit.
+  bool access(std::uint32_t address);
+
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  [[nodiscard]] const CacheConfig& config() const { return config_; }
+
+ private:
+  CacheConfig config_;
+  std::uint32_t num_lines_;
+  std::vector<std::uint64_t> tags_;  // tag+1; 0 = invalid
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace emask::sim

@@ -1,0 +1,47 @@
+#include "sim/memory.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace emask::sim {
+
+DataMemory::DataMemory(const assembler::Program& program,
+                       std::size_t size_bytes)
+    : bytes_(size_bytes, 0u) {
+  if (program.data.size() > size_bytes) {
+    throw std::invalid_argument("DataMemory: image larger than memory");
+  }
+  std::copy(program.data.begin(), program.data.end(), bytes_.begin());
+}
+
+void DataMemory::check(std::uint32_t address) const {
+  if (address % 4 != 0) {
+    throw std::runtime_error("DataMemory: unaligned word access at 0x" +
+                             std::to_string(address));
+  }
+  if (address < base() || address - base() + 4 > bytes_.size()) {
+    throw std::runtime_error("DataMemory: access outside memory at 0x" +
+                             std::to_string(address));
+  }
+}
+
+std::uint32_t DataMemory::load_word(std::uint32_t address) const {
+  check(address);
+  const std::size_t off = address - base();
+  return static_cast<std::uint32_t>(bytes_[off]) |
+         (static_cast<std::uint32_t>(bytes_[off + 1]) << 8) |
+         (static_cast<std::uint32_t>(bytes_[off + 2]) << 16) |
+         (static_cast<std::uint32_t>(bytes_[off + 3]) << 24);
+}
+
+void DataMemory::store_word(std::uint32_t address, std::uint32_t value) {
+  check(address);
+  const std::size_t off = address - base();
+  bytes_[off] = static_cast<std::uint8_t>(value & 0xFF);
+  bytes_[off + 1] = static_cast<std::uint8_t>((value >> 8) & 0xFF);
+  bytes_[off + 2] = static_cast<std::uint8_t>((value >> 16) & 0xFF);
+  bytes_[off + 3] = static_cast<std::uint8_t>((value >> 24) & 0xFF);
+}
+
+}  // namespace emask::sim

@@ -1,0 +1,31 @@
+// Flat on-chip data SRAM of the modeled smart-card core.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "assembler/program.hpp"
+
+namespace emask::sim {
+
+/// Byte-addressable data memory based at assembler::kDataBase.  Word
+/// accesses must be 4-byte aligned; violations and out-of-range accesses
+/// throw (they indicate a broken program, not a modeled trap).
+class DataMemory {
+ public:
+  explicit DataMemory(const assembler::Program& program,
+                      std::size_t size_bytes = 1u << 20);
+
+  [[nodiscard]] std::uint32_t load_word(std::uint32_t address) const;
+  void store_word(std::uint32_t address, std::uint32_t value);
+
+  [[nodiscard]] std::uint32_t base() const { return assembler::kDataBase; }
+  [[nodiscard]] std::size_t size() const { return bytes_.size(); }
+
+ private:
+  void check(std::uint32_t address) const;
+
+  std::vector<std::uint8_t> bytes_;
+};
+
+}  // namespace emask::sim

@@ -1,0 +1,156 @@
+// Cycle-accurate, in-order, five-stage pipeline (IF ID EX MEM WB).
+//
+// Matches the paper's target: "a simple five-stage pipelined smart card
+// processor" (fetch, decode, execute, memory access, write back).
+// Microarchitectural choices, documented here because they shape the cycle
+// counts and the energy trace:
+//
+//   * full forwarding from EX/MEM and MEM/WB into EX;
+//   * one-cycle load-use interlock;
+//   * branches and jumps resolve in EX; a taken control transfer flushes
+//     the two younger stages (2-cycle penalty); no delay slots;
+//   * Harvard memories, both single-cycle (smart-card cores run cacheless
+//     on-chip SRAM);
+//   * pipeline registers are clock-gated on bubbles (no latch write, no
+//     latch energy), and gated *extra* rails are only powered for secure
+//     instructions — both noted in the paper as sources of savings.
+//
+// The simulator produces one energy::CycleActivity per clock; it never
+// computes energy itself (SimplePower's split between performance model and
+// energy back end).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+
+#include <optional>
+
+#include "assembler/program.hpp"
+#include "energy/activity.hpp"
+#include "isa/encoding.hpp"
+#include "sim/cache.hpp"
+#include "sim/memory.hpp"
+
+namespace emask::sim {
+
+struct SimConfig {
+  std::uint64_t max_cycles = 50'000'000;
+  std::size_t dmem_bytes = 1u << 20;
+  /// Gate register-file reads whose value will be superseded by forwarding
+  /// (standard low-power operand isolation).  Also closes a side channel:
+  /// without it, the stale architectural value of an overwritten register —
+  /// possibly secret-derived — transits the ID/EX register under a
+  /// non-secure instruction.  Disable only for the ablation experiment.
+  bool operand_isolation = true;
+  /// Optional data cache (timing only).  Smart cards run cacheless —
+  /// enabling this reintroduces a key-dependent timing channel through
+  /// secret-indexed table lookups (see bench_ext_cache_timing).
+  std::optional<CacheConfig> dcache;
+};
+
+struct SimResult {
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;  // retired
+  std::uint64_t stalls = 0;        // load-use interlock bubbles
+  std::uint64_t flushes = 0;       // taken control transfers (2 slots each)
+  bool halted = false;
+
+  [[nodiscard]] double cpi() const {
+    return instructions ? static_cast<double>(cycles) /
+                              static_cast<double>(instructions)
+                        : 0.0;
+  }
+};
+
+class Pipeline {
+ public:
+  explicit Pipeline(const assembler::Program& program, SimConfig config = {});
+
+  /// Advances one clock.  Fills `activity` with what happened.  Returns
+  /// false once the machine has halted (activity is then all-idle).
+  bool step(energy::CycleActivity& activity);
+
+  /// Runs to halt (or the cycle limit, which throws).  Invokes
+  /// `on_cycle(activity)` after every clock if provided.
+  template <typename OnCycle>
+  SimResult run(OnCycle&& on_cycle) {
+    energy::CycleActivity activity;
+    while (!halted_) {
+      if (cycles_ >= config_.max_cycles) {
+        throw std::runtime_error("Pipeline: cycle limit exceeded");
+      }
+      step(activity);
+      on_cycle(activity);
+    }
+    return result();
+  }
+
+  SimResult run();
+
+  [[nodiscard]] SimResult result() const {
+    return SimResult{cycles_, retired_, stalls_, flushes_, halted_};
+  }
+  [[nodiscard]] bool halted() const { return halted_; }
+  [[nodiscard]] std::uint64_t cycles() const { return cycles_; }
+  [[nodiscard]] std::uint32_t reg(isa::Reg r) const { return regs_[r]; }
+  [[nodiscard]] const DataMemory& memory() const { return dmem_; }
+  [[nodiscard]] DataMemory& memory() { return dmem_; }
+  [[nodiscard]] const DirectMappedCache* dcache() const {
+    return dcache_ ? &*dcache_ : nullptr;
+  }
+
+ private:
+  // Latched state between stages.  `valid=false` is a bubble.
+  struct IfId {
+    bool valid = false;
+    isa::Instruction inst;
+    std::uint64_t encoded = 0;
+    std::uint32_t pc = 0;
+  };
+  struct IdEx {
+    bool valid = false;
+    isa::Instruction inst;
+    std::uint32_t pc = 0;
+    std::uint32_t a = 0;  // rs value (or rt for shift-by-immediate)
+    std::uint32_t b = 0;  // rt value
+  };
+  struct ExMem {
+    bool valid = false;
+    isa::Instruction inst;
+    std::uint32_t pc = 0;
+    std::uint32_t alu = 0;         // ALU result or memory address
+    std::uint32_t store_data = 0;  // rt value for stores
+  };
+  struct MemWb {
+    bool valid = false;
+    isa::Instruction inst;
+    std::uint32_t pc = 0;
+    std::uint32_t value = 0;  // value to write back
+  };
+
+  [[nodiscard]] std::uint32_t forwarded(isa::Reg r, std::uint32_t id_value) const;
+
+  const assembler::Program& program_;
+  SimConfig config_;
+  DataMemory dmem_;
+
+  std::array<std::uint32_t, isa::kNumRegisters> regs_{};
+  std::uint32_t pc_;
+  IfId if_id_;
+  IdEx id_ex_;
+  ExMem ex_mem_;
+  MemWb mem_wb_;
+
+  std::uint64_t cycles_ = 0;
+  std::uint64_t retired_ = 0;
+  std::uint64_t stalls_ = 0;
+  std::uint64_t flushes_ = 0;
+  std::optional<DirectMappedCache> dcache_;
+  std::uint32_t miss_stall_remaining_ = 0;
+  bool halted_ = false;
+  bool halt_seen_ = false;  // a halt is in flight; stop fetching
+};
+
+}  // namespace emask::sim

@@ -1,0 +1,59 @@
+// Bit-manipulation helpers shared across the simulator, energy models and DES.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+namespace emask::util {
+
+/// Number of set bits in `x`.
+[[nodiscard]] constexpr int popcount(std::uint32_t x) noexcept {
+  return std::popcount(x);
+}
+
+/// Hamming distance between two 32-bit words: the number of bit positions
+/// that toggle when a bus/latch holding `a` is overwritten with `b`.  This is
+/// the quantity transition-sensitive energy models charge for.
+[[nodiscard]] constexpr int hamming_distance(std::uint32_t a,
+                                             std::uint32_t b) noexcept {
+  return std::popcount(a ^ b);
+}
+
+/// Value of bit `pos` (0 = LSB) of `x`, as 0 or 1.
+[[nodiscard]] constexpr std::uint32_t bit_of(std::uint32_t x,
+                                             unsigned pos) noexcept {
+  return (x >> pos) & 1u;
+}
+
+/// Value of bit `pos` (0 = LSB) of a 64-bit word, as 0 or 1.
+[[nodiscard]] constexpr std::uint64_t bit_of64(std::uint64_t x,
+                                               unsigned pos) noexcept {
+  return (x >> pos) & 1u;
+}
+
+/// `x` with bit `pos` forced to `value` (0 or 1).
+[[nodiscard]] constexpr std::uint32_t with_bit(std::uint32_t x, unsigned pos,
+                                               std::uint32_t value) noexcept {
+  return (x & ~(1u << pos)) | ((value & 1u) << pos);
+}
+
+/// Sign-extend the low `bits` bits of `x` to a full 32-bit word.
+[[nodiscard]] constexpr std::uint32_t sign_extend(std::uint32_t x,
+                                                  unsigned bits) noexcept {
+  const std::uint32_t mask = 1u << (bits - 1);
+  x &= (bits >= 32) ? 0xFFFFFFFFu : ((1u << bits) - 1u);
+  return (x ^ mask) - mask;
+}
+
+/// Unpack a 64-bit block into 64 words of value 0/1, MSB first (bit 63 of
+/// `block` becomes element 0).  This is the "one word per bit" data layout
+/// the paper's DES implementation uses (Fig. 4: `newL[i] = oldR[i]`).
+[[nodiscard]] std::vector<std::uint32_t> unpack_block_msb_first(
+    std::uint64_t block);
+
+/// Inverse of unpack_block_msb_first: element 0 becomes bit 63.
+[[nodiscard]] std::uint64_t pack_block_msb_first(
+    const std::vector<std::uint32_t>& bits);
+
+}  // namespace emask::util

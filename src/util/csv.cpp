@@ -1,0 +1,35 @@
+#include "util/csv.hpp"
+
+#include <stdexcept>
+
+namespace emask::util {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {
+  if (!out_) {
+    throw std::runtime_error("CsvWriter: cannot open " + path);
+  }
+}
+
+void CsvWriter::write_header(const std::vector<std::string>& columns) {
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << columns[i];
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::write_row(const std::vector<double>& values) {
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << values[i];
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::write_row(std::initializer_list<double> values) {
+  write_row(std::vector<double>(values));
+}
+
+void CsvWriter::flush() { out_.flush(); }
+
+}  // namespace emask::util

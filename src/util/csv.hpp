@@ -1,0 +1,27 @@
+// Minimal CSV emission for experiment outputs (figure series, tables).
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace emask::util {
+
+/// Writes rows of comma-separated values to a file.  Throws on IO failure at
+/// open time; later write failures surface when the stream is flushed in the
+/// destructor (best effort) or via flush().
+class CsvWriter {
+ public:
+  explicit CsvWriter(const std::string& path);
+
+  void write_header(const std::vector<std::string>& columns);
+  void write_row(const std::vector<double>& values);
+  void write_row(std::initializer_list<double> values);
+  void flush();
+
+ private:
+  std::ofstream out_;
+};
+
+}  // namespace emask::util

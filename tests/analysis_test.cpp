@@ -1,0 +1,228 @@
+// Side-channel analysis toolkit: traces, SPA, DPA — on synthetic data and
+// on the real simulated DES.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/dpa.hpp"
+#include "analysis/spa.hpp"
+#include "analysis/trace.hpp"
+#include "core/masking_pipeline.hpp"
+#include "des/des.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace emask::analysis {
+namespace {
+
+TEST(Trace, TotalsAndMeans) {
+  Trace t({1e6, 2e6, 3e6});  // pJ
+  EXPECT_DOUBLE_EQ(t.total_uj(), 6.0);
+  EXPECT_DOUBLE_EQ(t.mean_pj(), 2e6);
+  EXPECT_DOUBLE_EQ(t.max_abs(), 3e6);
+}
+
+TEST(Trace, DifferenceUsesCommonPrefix) {
+  Trace a({5, 5, 5, 5});
+  Trace b({1, 2, 3});
+  const Trace d = a.difference(b);
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_DOUBLE_EQ(d[0], 4);
+  EXPECT_DOUBLE_EQ(d[2], 2);
+}
+
+TEST(Trace, WindowedAverage) {
+  Trace t({1, 3, 5, 7, 9});
+  const Trace w = t.windowed_average(2);
+  ASSERT_EQ(w.size(), 3u);
+  EXPECT_DOUBLE_EQ(w[0], 2);
+  EXPECT_DOUBLE_EQ(w[1], 6);
+  EXPECT_DOUBLE_EQ(w[2], 9);  // ragged tail
+}
+
+TEST(Trace, SliceClampsBounds) {
+  Trace t({1, 2, 3, 4});
+  EXPECT_EQ(t.slice(1, 3).size(), 2u);
+  EXPECT_EQ(t.slice(3, 100).size(), 1u);
+  EXPECT_EQ(t.slice(5, 9).size(), 0u);
+  EXPECT_EQ(t.slice(3, 1).size(), 0u);
+}
+
+TEST(NoiseModel, AddsGaussianNoiseOfRequestedSigma) {
+  NoiseModel noise(10.0, 42);
+  Trace flat(std::vector<double>(20000, 100.0));
+  const Trace noisy = noise.apply(flat);
+  util::RunningStats s;
+  for (std::size_t i = 0; i < noisy.size(); ++i) s.add(noisy[i]);
+  EXPECT_NEAR(s.mean(), 100.0, 0.5);
+  EXPECT_NEAR(s.stddev(), 10.0, 0.5);
+}
+
+TEST(Spa, DetectsSyntheticPeriod) {
+  // A noisy sawtooth of period 37.
+  util::Rng rng(1);
+  std::vector<double> v;
+  for (int i = 0; i < 37 * 20; ++i) {
+    v.push_back((i % 37) + 0.3 * rng.next_gaussian());
+  }
+  const SpaResult r = detect_rounds(Trace(std::move(v)), 10, 100);
+  EXPECT_EQ(r.best_period, 37u);
+  EXPECT_GT(r.periodicity, 0.9);
+  EXPECT_EQ(r.repetitions, 20);
+}
+
+TEST(Spa, AutocorrelationEdgeCases) {
+  Trace t({1, 2, 3});
+  EXPECT_EQ(autocorrelation(t, 0), 0.0);
+  EXPECT_EQ(autocorrelation(t, 3), 0.0);
+}
+
+TEST(Spa, FlatTraceHasNoPeriod) {
+  Trace t(std::vector<double>(500, 1.0));
+  const SpaResult r = detect_rounds(t, 5, 50);
+  EXPECT_EQ(r.periodicity, 0.0);
+}
+
+// The paper's Fig. 6 claim: one trace of the unmasked encryption reveals
+// the 16 rounds.
+TEST(Spa, SixteenRoundsVisibleInRealTrace) {
+  const auto pipeline =
+      core::MaskingPipeline::des(compiler::Policy::kOriginal);
+  const auto run = pipeline.run_des(0x133457799BBCDFF1ull,
+                                    0x0123456789ABCDEFull);
+  const Trace windowed = run.trace.windowed_average(50);
+  const SpaResult r = detect_rounds(windowed, 100, 220);
+  EXPECT_GT(r.periodicity, 0.4);
+  EXPECT_EQ(r.repetitions, 16);
+}
+
+// ---- DPA ----
+
+TEST(Dpa, PredictBitMatchesGoldenFeistel) {
+  // With the *correct* subkey chunk, the prediction must equal the real
+  // S-box output bit of round 1.
+  util::Rng rng(2);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::uint64_t key = rng.next_u64();
+    const std::uint64_t pt = rng.next_u64();
+    const des::KeySchedule ks = des::key_schedule(key);
+    for (int sbox = 0; sbox < 8; ++sbox) {
+      const int chunk = DpaAttack::true_subkey_chunk(key, sbox);
+      const std::uint64_t ip = des::initial_permutation(pt);
+      const auto r0 = static_cast<std::uint32_t>(ip);
+      const std::uint64_t x = des::expand(r0) ^ ks.subkeys[0];
+      const auto six =
+          static_cast<std::uint8_t>((x >> (42 - 6 * sbox)) & 0x3F);
+      const std::uint8_t sb = des::sbox_lookup(sbox, six);
+      for (int bit = 0; bit < 4; ++bit) {
+        EXPECT_EQ(DpaAttack::predict_bit(pt, sbox, bit, chunk),
+                  (sb >> (3 - bit)) & 1);
+      }
+    }
+  }
+}
+
+TEST(Dpa, RecoversKeyFromSyntheticLeakage) {
+  // Synthetic traces: sample j=17 leaks the target bit with some noise.
+  const std::uint64_t key = 0x133457799BBCDFF1ull;
+  const int truth = DpaAttack::true_subkey_chunk(key, 3);
+  DpaConfig cfg;
+  cfg.sbox = 3;
+  cfg.bit = 1;
+  DpaAttack attack(cfg);
+  util::Rng rng(3);
+  for (int i = 0; i < 400; ++i) {
+    const std::uint64_t pt = rng.next_u64();
+    std::vector<double> v(64);
+    for (auto& s : v) s = 100.0 + rng.next_gaussian();
+    v[17] += 5.0 * DpaAttack::predict_bit(pt, 3, 1, truth);
+    attack.add_trace(pt, Trace(std::move(v)));
+  }
+  const DpaResult r = attack.solve();
+  EXPECT_EQ(r.best_guess, truth);
+  EXPECT_GT(r.margin(), 1.2);
+  EXPECT_EQ(util::argmax_abs(r.dom_best), 17u);
+}
+
+TEST(Dpa, WindowRestrictsAnalysis) {
+  DpaConfig cfg;
+  cfg.window_begin = 10;
+  cfg.window_end = 20;
+  DpaAttack attack(cfg);
+  attack.add_trace(0, Trace(std::vector<double>(30, 1.0)));
+  const DpaResult r = attack.solve();
+  EXPECT_EQ(r.traces_used, 1u);
+  // All partitions are degenerate with one trace; no dom computed.
+  EXPECT_EQ(r.best_guess, -1);
+}
+
+TEST(Dpa, RejectsBadConfig) {
+  DpaConfig bad;
+  bad.sbox = 8;
+  EXPECT_THROW(DpaAttack{bad}, std::invalid_argument);
+  bad.sbox = 0;
+  bad.bit = 4;
+  EXPECT_THROW(DpaAttack{bad}, std::invalid_argument);
+}
+
+TEST(Dpa, ShortTraceRejected) {
+  DpaAttack attack(DpaConfig{});
+  attack.add_trace(0, Trace(std::vector<double>(30, 1.0)));
+  EXPECT_THROW(attack.add_trace(1, Trace(std::vector<double>(20, 1.0))),
+               std::invalid_argument);
+}
+
+// The paper's central security claim, as an experiment on the real system:
+// the difference-of-means attack sees literally zero signal in the secured
+// round-1 window once selective masking is on.
+TEST(Dpa, MaskedRoundOneHasZeroSignal) {
+  const std::uint64_t key = 0x133457799BBCDFF1ull;
+  const auto masked =
+      core::MaskingPipeline::des(compiler::Policy::kSelective);
+  DpaConfig cfg;
+  cfg.window_begin = 3000;
+  cfg.window_end = 13000;
+  DpaAttack attack(cfg);
+  util::Rng rng(4);
+  for (int i = 0; i < 12; ++i) {
+    const std::uint64_t pt = rng.next_u64();
+    attack.add_trace(pt, masked.run_des(key, pt, /*stop_after=*/13000).trace);
+  }
+  const DpaResult r = attack.solve();
+  // Exactly zero up to the floating-point residue of subtracting the means
+  // of identical per-cycle values.
+  EXPECT_LT(r.best_peak, 1e-9);
+}
+
+// Full DPA key recovery on the unmasked device is exercised (with its
+// required hundreds of traces) by bench_ext_dpa_attack; here we verify the
+// pipeline-level plumbing end to end with a reduced trace budget: the
+// correct guess must already rank in the upper tail.
+TEST(Dpa, UnmaskedRoundOneShowsSignal) {
+  const std::uint64_t key = 0x133457799BBCDFF1ull;
+  const auto original =
+      core::MaskingPipeline::des(compiler::Policy::kOriginal);
+  DpaConfig cfg;
+  cfg.window_begin = 3000;
+  cfg.window_end = 13000;
+  DpaAttack attack(cfg);
+  util::Rng rng(5);
+  for (int i = 0; i < 40; ++i) {
+    const std::uint64_t pt = rng.next_u64();
+    attack.add_trace(pt, original.run_des(key, pt, 13000).trace);
+  }
+  const DpaResult r = attack.solve();
+  EXPECT_GT(r.best_peak, 0.0);
+  const int truth = DpaAttack::true_subkey_chunk(key, 0);
+  int rank = 0;
+  for (int g = 0; g < 64; ++g) {
+    if (r.peak_per_guess[static_cast<std::size_t>(g)] >
+        r.peak_per_guess[static_cast<std::size_t>(truth)]) {
+      ++rank;
+    }
+  }
+  EXPECT_LT(rank, 20);  // upper tail even at 40 traces
+}
+
+}  // namespace
+}  // namespace emask::analysis

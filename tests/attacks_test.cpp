@@ -1,0 +1,244 @@
+// Extended attack toolkit: correlation power analysis (CPA) and TVLA
+// fixed-vs-random leakage assessment.
+#include <gtest/gtest.h>
+
+#include "analysis/cpa.hpp"
+#include "analysis/dpa.hpp"
+#include "analysis/generic_cpa.hpp"
+#include "analysis/key_recovery.hpp"
+#include "analysis/tvla.hpp"
+#include "core/masking_pipeline.hpp"
+#include "des/des.hpp"
+#include "util/rng.hpp"
+
+namespace emask::analysis {
+namespace {
+
+TEST(Cpa, PredictWeightRange) {
+  util::Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const int w = CpaAttack::predict_weight(
+        rng.next_u64(), static_cast<int>(rng.next_below(8)),
+        static_cast<int>(rng.next_below(64)));
+    EXPECT_GE(w, 0);
+    EXPECT_LE(w, 4);
+  }
+}
+
+TEST(Cpa, WeightIsPopcountOfDpaPredictedBits) {
+  util::Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t pt = rng.next_u64();
+    const int sbox = static_cast<int>(rng.next_below(8));
+    const int guess = static_cast<int>(rng.next_below(64));
+    int sum = 0;
+    for (int bit = 0; bit < 4; ++bit) {
+      sum += DpaAttack::predict_bit(pt, sbox, bit, guess);
+    }
+    EXPECT_EQ(CpaAttack::predict_weight(pt, sbox, guess), sum);
+  }
+}
+
+TEST(Cpa, RecoversKeyFromSyntheticHammingLeakage) {
+  const std::uint64_t key = 0x133457799BBCDFF1ull;
+  const int truth = DpaAttack::true_subkey_chunk(key, 5);
+  CpaConfig cfg;
+  cfg.sbox = 5;
+  CpaAttack attack(cfg);
+  util::Rng rng(3);
+  for (int i = 0; i < 300; ++i) {
+    const std::uint64_t pt = rng.next_u64();
+    std::vector<double> v(50);
+    for (auto& s : v) s = 100.0 + rng.next_gaussian();
+    v[23] += 2.0 * CpaAttack::predict_weight(pt, 5, truth);
+    attack.add_trace(pt, Trace(std::move(v)));
+  }
+  const CpaResult r = attack.solve();
+  EXPECT_EQ(r.best_guess, truth);
+  EXPECT_GT(r.best_corr, 0.8);
+  EXPECT_GT(r.margin(), 1.5);
+}
+
+TEST(Cpa, RejectsBadSbox) {
+  CpaConfig bad;
+  bad.sbox = -1;
+  EXPECT_THROW(CpaAttack{bad}, std::invalid_argument);
+}
+
+TEST(Cpa, DegenerateCasesReturnNoGuess) {
+  CpaAttack attack(CpaConfig{});
+  EXPECT_EQ(attack.solve().best_guess, -1);
+  attack.add_trace(1, Trace(std::vector<double>(8, 1.0)));
+  EXPECT_EQ(attack.solve().best_guess, -1);  // fewer than 2 traces
+}
+
+TEST(Cpa, RecoversKeyFromRealUnmaskedTraces) {
+  const std::uint64_t key = 0x133457799BBCDFF1ull;
+  const auto device = core::MaskingPipeline::des(compiler::Policy::kOriginal);
+  CpaConfig cfg;
+  cfg.sbox = 0;
+  cfg.window_begin = 3000;
+  cfg.window_end = 13000;
+  CpaAttack attack(cfg);
+  util::Rng rng(9);
+  for (int i = 0; i < 300; ++i) {
+    const std::uint64_t pt = rng.next_u64();
+    attack.add_trace(pt, device.run_des(key, pt, 13000).trace);
+  }
+  const CpaResult r = attack.solve();
+  EXPECT_EQ(r.best_guess, DpaAttack::true_subkey_chunk(key, 0));
+  EXPECT_GT(r.margin(), 1.1);
+}
+
+TEST(Cpa, MaskedTracesYieldNoCorrelation) {
+  const std::uint64_t key = 0x133457799BBCDFF1ull;
+  const auto device = core::MaskingPipeline::des(compiler::Policy::kSelective);
+  CpaConfig cfg;
+  cfg.sbox = 0;
+  cfg.window_begin = 3000;
+  cfg.window_end = 13000;
+  CpaAttack attack(cfg);
+  util::Rng rng(10);
+  for (int i = 0; i < 20; ++i) {
+    const std::uint64_t pt = rng.next_u64();
+    attack.add_trace(pt, device.run_des(key, pt, 13000).trace);
+  }
+  // Every cycle in the secured window has zero variance across traces, so
+  // every correlation is degenerate: no guess can be distinguished.
+  EXPECT_EQ(attack.solve().best_corr, 0.0);
+}
+
+// ---- Key reconstruction from K1 ----
+
+TEST(KeyRecovery, SourceBitMapIsConsistentWithKeySchedule) {
+  // Flipping key bit kpos must flip exactly the K1 bits that map to it.
+  util::Rng rng(0x4B);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::uint64_t key = rng.next_u64();
+    for (int i = 0; i < 48; ++i) {
+      const int kpos = k1_source_key_bit(i);
+      const std::uint64_t flipped = key ^ (1ull << (64 - kpos));
+      const std::uint64_t k1a = des::key_schedule(key).subkeys[0];
+      const std::uint64_t k1b = des::key_schedule(flipped).subkeys[0];
+      EXPECT_EQ((k1a ^ k1b) >> (47 - i) & 1u, 1u) << "bit " << i;
+    }
+  }
+}
+
+TEST(KeyRecovery, ReconstructsFullKeyFromK1) {
+  util::Rng rng(0x4C);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::uint64_t key = des::with_odd_parity(rng.next_u64());
+    const std::uint64_t pt = rng.next_u64();
+    const std::uint64_t ct = des::encrypt_block(pt, key);
+    const std::uint64_t k1 = des::key_schedule(key).subkeys[0];
+    const auto recovered = reconstruct_key(k1, pt, ct);
+    ASSERT_TRUE(recovered.has_value());
+    EXPECT_EQ(*recovered, key);
+  }
+}
+
+TEST(KeyRecovery, WrongK1Fails) {
+  const std::uint64_t key = des::with_odd_parity(0x133457799BBCDFF1ull);
+  const std::uint64_t pt = 42, ct = des::encrypt_block(pt, key);
+  const std::uint64_t k1 = des::key_schedule(key).subkeys[0];
+  EXPECT_FALSE(reconstruct_key(k1 ^ 0b100100ull, pt, ct).has_value());
+}
+
+// ---- GenericCpa (the engine the AES attack uses with 256 guesses) ----
+
+TEST(GenericCpa, ValidatesInputs) {
+  EXPECT_THROW(GenericCpa(0), std::invalid_argument);
+  GenericCpa cpa(4);
+  EXPECT_THROW(cpa.add_trace(std::vector<int>(3), Trace({1, 2})),
+               std::invalid_argument);
+  cpa.add_trace(std::vector<int>{0, 1, 2, 3}, Trace({1, 2}));
+  EXPECT_THROW(cpa.add_trace(std::vector<int>{0, 1, 2, 3}, Trace({1})),
+               std::invalid_argument);
+}
+
+TEST(GenericCpa, RecoversSyntheticGuess) {
+  GenericCpa cpa(256);
+  util::Rng rng(7);
+  // Guess 0xA7's hypothesis drives sample 11; others are random.
+  for (int i = 0; i < 400; ++i) {
+    std::vector<int> h(256);
+    for (auto& x : h) x = static_cast<int>(rng.next_below(9));
+    std::vector<double> v(32);
+    for (auto& s : v) s = 50.0 + rng.next_gaussian();
+    v[11] += 1.5 * h[0xA7];
+    cpa.add_trace(h, Trace(std::move(v)));
+  }
+  const GenericCpaResult r = cpa.solve();
+  EXPECT_EQ(r.best_guess, 0xA7);
+  EXPECT_GT(r.margin(), 1.5);
+}
+
+TEST(GenericCpa, ConstantHypothesisIsDegenerate) {
+  GenericCpa cpa(2);
+  util::Rng rng(8);
+  for (int i = 0; i < 50; ++i) {
+    std::vector<double> v(8);
+    for (auto& s : v) s = rng.next_gaussian();
+    cpa.add_trace({1, static_cast<int>(rng.next_below(2))},
+                  Trace(std::move(v)));
+  }
+  const GenericCpaResult r = cpa.solve();
+  EXPECT_EQ(r.corr_per_guess[0], 0.0);  // guess 0 never varies
+}
+
+// ---- TVLA ----
+
+TEST(Tvla, FlagsSyntheticLeak) {
+  TvlaAssessment tvla;
+  util::Rng rng(4);
+  for (int i = 0; i < 200; ++i) {
+    std::vector<double> fixed(20), random(20);
+    for (auto& s : fixed) s = 10.0 + rng.next_gaussian();
+    for (auto& s : random) s = 10.0 + rng.next_gaussian();
+    fixed[7] += 2.0;  // the fixed class consumes more at sample 7
+    tvla.add_fixed(Trace(std::move(fixed)));
+    tvla.add_random(Trace(std::move(random)));
+  }
+  const TvlaResult r = tvla.solve();
+  EXPECT_TRUE(r.leaks());
+  EXPECT_EQ(r.worst_cycle, 7u);
+  EXPECT_GT(r.max_abs_t, TvlaResult::kTvlaThreshold);
+}
+
+TEST(Tvla, PassesWhenGroupsIdentical) {
+  TvlaAssessment tvla;
+  util::Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    std::vector<double> a(20), b(20);
+    for (auto& s : a) s = rng.next_gaussian();
+    for (auto& s : b) s = rng.next_gaussian();
+    tvla.add_fixed(Trace(std::move(a)));
+    tvla.add_random(Trace(std::move(b)));
+  }
+  // With 100 samples and threshold 4.5, false positives are (very) rare.
+  EXPECT_FALSE(tvla.solve().leaks());
+}
+
+TEST(Tvla, RealDeviceAssessment) {
+  const std::uint64_t key = 0x133457799BBCDFF1ull;
+  const auto original = core::MaskingPipeline::des(compiler::Policy::kOriginal);
+  const auto masked = core::MaskingPipeline::des(compiler::Policy::kSelective);
+  TvlaAssessment unmasked_tvla(3000, 13000);
+  TvlaAssessment masked_tvla(3000, 13000);
+  util::Rng rng(6);
+  for (int i = 0; i < 15; ++i) {
+    const std::uint64_t pt = rng.next_u64();
+    unmasked_tvla.add_fixed(original.run_des(key, 1, 13000).trace);
+    unmasked_tvla.add_random(original.run_des(key, pt, 13000).trace);
+    masked_tvla.add_fixed(masked.run_des(key, 1, 13000).trace);
+    masked_tvla.add_random(masked.run_des(key, pt, 13000).trace);
+  }
+  EXPECT_TRUE(unmasked_tvla.solve().leaks());
+  const TvlaResult r = masked_tvla.solve();
+  EXPECT_FALSE(r.leaks());
+  EXPECT_EQ(r.max_abs_t, 0.0);  // the secured round is *exactly* constant
+}
+
+}  // namespace
+}  // namespace emask::analysis

@@ -1,0 +1,445 @@
+// Forward slicing and masking policies.
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.hpp"
+#include "compiler/masking.hpp"
+#include "compiler/slicer.hpp"
+#include "compiler/taint.hpp"
+#include "des/asm_generator.hpp"
+#include "sha/asm_generator.hpp"
+
+namespace emask::compiler {
+namespace {
+
+assembler::Program prog(const std::string& src) {
+  return assembler::assemble(src);
+}
+
+/// Indices of sliced instructions.
+std::vector<std::uint32_t> sliced(const SliceResult& r) {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t i = 0; i < r.in_slice.size(); ++i) {
+    if (r.in_slice[i]) out.push_back(i);
+  }
+  return out;
+}
+
+TEST(AbsVal, JoinSemantics) {
+  AbsVal a, b;
+  a.is_const = b.is_const = true;
+  a.cval = b.cval = 7;
+  a.points_to = 1;
+  b.points_to = 2;
+  const AbsVal j = a.join(b);
+  EXPECT_TRUE(j.is_const);
+  EXPECT_EQ(j.cval, 7u);
+  EXPECT_EQ(j.points_to, 3u);
+
+  b.cval = 8;
+  EXPECT_FALSE(a.join(b).is_const);
+
+  b.tainted = true;
+  EXPECT_TRUE(a.join(b).tainted);
+}
+
+TEST(ForwardSlice, NoSecretsNoSlice) {
+  const auto r = forward_slice(prog(R"(
+.data
+x: .word 1
+.text
+main:
+  la $t0, x
+  lw $t1, 0($t0)
+  sw $t1, 0($t0)
+  halt
+)"));
+  EXPECT_EQ(r.slice_size(), 0u);
+  EXPECT_TRUE(r.diagnostics.empty());
+}
+
+TEST(ForwardSlice, DirectSecretLoadIsSliced) {
+  const auto r = forward_slice(prog(R"(
+.data
+key: .word 1
+pub: .word 2
+.text
+main:
+  la $t0, key
+  lw $t1, 0($t0)      # sliced (reads key)
+  la $t2, pub
+  lw $t3, 0($t2)      # not sliced
+  halt
+.data
+.secret key
+)"));
+  const auto s = sliced(r);
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s[0], 2u);  // la is 2 instructions; lw is index 2
+}
+
+TEST(ForwardSlice, TaintFlowsThroughSecurableOps) {
+  const auto r = forward_slice(prog(R"(
+.data
+key: .word 1
+.secret key
+out: .space 4
+.text
+main:
+  la $t0, key
+  lw $t1, 0($t0)      # slice: load key
+  xor $t2, $t1, $t1   # slice: xor on tainted
+  sll $t3, $t2, 4     # slice: shift on tainted
+  addu $t4, $t3, $t3  # slice: add on tainted
+  la $t5, out
+  sw $t4, 0($t5)      # slice: store tainted
+  halt
+)"));
+  EXPECT_EQ(r.slice_size(), 5u);
+  EXPECT_TRUE(r.symbol_tainted[1]);  // the store taints `out`
+  EXPECT_TRUE(r.diagnostics.empty());
+}
+
+TEST(ForwardSlice, RegionTaintPropagatesAcrossMemory) {
+  // Secret flows into buf; a later (textually earlier in dataflow order)
+  // load from buf is tainted thanks to the flow-insensitive region taint.
+  const auto r = forward_slice(prog(R"(
+.data
+key: .word 1
+.secret key
+buf: .space 4
+dst: .space 4
+.text
+main:
+  la $t0, key
+  la $t1, buf
+  la $t2, dst
+  lw $t3, 0($t0)
+  sw $t3, 0($t1)      # buf is now tainted
+  lw $t4, 0($t1)      # tainted load
+  sw $t4, 0($t2)      # taints dst
+  halt
+)"));
+  ASSERT_EQ(r.symbol_tainted.size(), 3u);
+  EXPECT_TRUE(r.symbol_tainted[0]);
+  EXPECT_TRUE(r.symbol_tainted[1]);
+  EXPECT_TRUE(r.symbol_tainted[2]);
+  EXPECT_EQ(r.slice_size(), 4u);
+}
+
+TEST(ForwardSlice, TaintedIndexLoadIsSecureIndexing) {
+  // A load from a *public* table at a secret-derived offset must be sliced
+  // (the paper's "secure indexing"), and its result is tainted.
+  const auto r = forward_slice(prog(R"(
+.data
+key: .word 1
+.secret key
+tab: .word 1, 2, 3, 4
+dst: .space 4
+.text
+main:
+  la $t0, key
+  lw $t1, 0($t0)      # slice
+  sll $t2, $t1, 2     # slice
+  la $t3, tab
+  addu $t3, $t3, $t2  # slice (address computation on tainted)
+  lw $t4, 0($t3)      # slice: secure indexing
+  la $t5, dst
+  sw $t4, 0($t5)      # slice: result is tainted
+  halt
+)"));
+  EXPECT_EQ(r.slice_size(), 5u);
+  EXPECT_TRUE(r.diagnostics.empty());
+}
+
+TEST(ForwardSlice, DeclassifiedSinkStaysInsecure) {
+  const auto r = forward_slice(prog(R"(
+.data
+key: .word 1
+.secret key
+out: .space 4
+.declassified out
+.text
+main:
+  la $t0, key
+  lw $t1, 0($t0)      # slice
+  la $t2, out
+  sw $t1, 0($t2)      # NOT sliced: declassified sink
+  lw $t3, 0($t2)      # NOT sliced: declassified regions are public
+  halt
+)"));
+  EXPECT_EQ(r.slice_size(), 1u);
+  // out never becomes tainted.
+  EXPECT_FALSE(r.symbol_tainted[1]);
+}
+
+TEST(ForwardSlice, TaintedBranchDiagnosed) {
+  const auto r = forward_slice(prog(R"(
+.data
+key: .word 1
+.secret key
+.text
+main:
+  la $t0, key
+  lw $t1, 0($t0)
+  bne $t1, $zero, main
+  halt
+)"));
+  ASSERT_FALSE(r.diagnostics.empty());
+  EXPECT_EQ(r.diagnostics[0].kind, DiagnosticKind::kTaintedBranch);
+}
+
+TEST(ForwardSlice, TaintedNonSecurableDiagnosed) {
+  const auto r = forward_slice(prog(R"(
+.data
+key: .word 1
+.secret key
+.text
+main:
+  la $t0, key
+  lw $t1, 0($t0)
+  subu $t2, $t1, $t0   # subu has no secure version
+  halt
+)"));
+  ASSERT_FALSE(r.diagnostics.empty());
+  EXPECT_EQ(r.diagnostics[0].kind, DiagnosticKind::kTaintedNonSecurable);
+}
+
+TEST(ForwardSlice, UnresolvedAddressDiagnosed) {
+  const auto r = forward_slice(prog(R"(
+.data
+key: .word 1
+.secret key
+.text
+main:
+  li $t0, 0x20000      # outside every symbol; dataflow can't resolve it...
+  addu $t0, $t0, $t0   # ...and after doubling it is no longer constant-known
+  lw $t1, 0($t0)
+  halt
+)"));
+  bool saw = false;
+  for (const auto& d : r.diagnostics) {
+    saw |= d.kind == DiagnosticKind::kUnresolvedAddress;
+  }
+  EXPECT_TRUE(saw);
+}
+
+TEST(ForwardSlice, SpilledPointerResolvesThroughMemory) {
+  // -O0 style: the base pointer is spilled and reloaded; the region
+  // points-to summary must keep the access resolved and untainted.
+  const auto r = forward_slice(prog(R"(
+.data
+key: .word 1
+.secret key
+tab: .word 5
+slot: .space 4
+dst: .space 4
+.text
+main:
+  la $t0, tab
+  la $t1, slot
+  sw $t0, 0($t1)       # spill &tab
+  lw $t2, 0($t1)       # reload
+  lw $t3, 0($t2)       # load tab[0] — public, must NOT be sliced
+  la $t4, dst
+  sw $t3, 0($t4)
+  halt
+)"));
+  EXPECT_EQ(r.slice_size(), 0u);
+  bool unresolved = false;
+  for (const auto& d : r.diagnostics) {
+    unresolved |= d.kind == DiagnosticKind::kUnresolvedAddress;
+  }
+  EXPECT_FALSE(unresolved);
+}
+
+TEST(ForwardSlice, JoinOverBranchesMerges) {
+  // Whichever path executes, $t2 may be tainted afterwards.
+  const auto r = forward_slice(prog(R"(
+.data
+key: .word 1
+.secret key
+pub: .word 2
+out: .space 4
+.text
+main:
+  la $t0, key
+  la $t1, pub
+  beq $zero, $zero, b1
+  lw $t2, 0($t1)
+  b join
+b1:
+  lw $t2, 0($t0)       # sliced
+join:
+  la $t3, out
+  sw $t2, 0($t3)       # sliced: $t2 may hold key data
+  halt
+)"));
+  const auto s = sliced(r);
+  ASSERT_EQ(s.size(), 2u);
+}
+
+TEST(ForwardSlice, CallClobbersCallerSavedRegisters) {
+  // After jal, $t1 may have been overwritten by the callee with secret-
+  // derived data: the conservative analysis must slice the store.
+  const assembler::Program p = prog(R"(
+.data
+key: .word 1
+.secret key
+out: .space 4
+.text
+main:
+  li $t1, 5
+  jal sub
+  la $t2, out
+  sw $t1, 0($t2)
+  halt
+sub:
+  jr $ra
+)");
+  const auto r = forward_slice(p);
+  bool store_sliced = false;
+  for (const std::uint32_t i : sliced(r)) {
+    store_sliced |= isa::info(p.text[i].op).is_store;
+  }
+  EXPECT_TRUE(store_sliced);
+}
+
+TEST(ForwardSlice, TooManySymbolsRejected) {
+  std::string src = ".data\n";
+  for (int i = 0; i < 65; ++i) {
+    src += "s" + std::to_string(i) + ": .word 1\n";
+  }
+  src += ".text\nmain:\n halt\n";
+  EXPECT_THROW(forward_slice(prog(src)), std::invalid_argument);
+}
+
+TEST(ForwardSlice, PaperStrictClassesRejectLogicUnit) {
+  // Under the paper's exact four secure classes, a tainted AND is a
+  // protection hole; with the extended set it is simply secured.
+  const assembler::Program p = prog(R"(
+.data
+key: .word 1
+.secret key
+.text
+main:
+  la $t0, key
+  lw $t1, 0($t0)
+  and $t2, $t1, $t1
+  halt
+)");
+  const auto relaxed = forward_slice(p);
+  EXPECT_TRUE(relaxed.diagnostics.empty());
+  EXPECT_EQ(relaxed.slice_size(), 2u);
+
+  SliceOptions strict;
+  strict.paper_strict_classes = true;
+  const auto strict_result = forward_slice(p, strict);
+  ASSERT_FALSE(strict_result.diagnostics.empty());
+  EXPECT_EQ(strict_result.diagnostics[0].kind,
+            DiagnosticKind::kTaintedNonSecurable);
+}
+
+TEST(ForwardSlice, DesIsCompleteUnderPaperStrictClasses) {
+  // The paper's four classes cover everything DES needs — strict mode
+  // produces the identical slice with zero diagnostics.
+  const assembler::Program p =
+      assembler::assemble(des::generate_des_asm(0, 0, {}));
+  SliceOptions strict;
+  strict.paper_strict_classes = true;
+  const auto a = forward_slice(p);
+  const auto b = forward_slice(p, strict);
+  EXPECT_TRUE(b.diagnostics.empty());
+  EXPECT_EQ(a.in_slice, b.in_slice);
+}
+
+TEST(ForwardSlice, Sha1NeedsTheLogicUnitExtension) {
+  std::array<std::uint32_t, 16> block{};
+  const assembler::Program p =
+      assembler::assemble(sha::generate_sha1_asm(block));
+  SliceOptions strict;
+  strict.paper_strict_classes = true;
+  const auto result = forward_slice(p, strict);
+  std::size_t non_securable = 0;
+  for (const auto& d : result.diagnostics) {
+    non_securable += d.kind == DiagnosticKind::kTaintedNonSecurable;
+  }
+  EXPECT_GT(non_securable, 0u) << "Ch/Maj must trip the strict class set";
+}
+
+// ---- Policies ----
+
+constexpr const char* kPolicyProgram = R"(
+.data
+key: .word 1
+.secret key
+pub: .word 2
+out: .space 8
+.text
+main:
+  la $t0, key
+  lw $t1, 0($t0)      # secret load
+  la $t2, pub
+  lw $t3, 0($t2)      # public load
+  la $t4, out
+  sw $t1, 0($t4)      # secret store
+  sw $t3, 4($t4)      # public store
+  xor $t5, $t1, $t3   # tainted xor
+  addu $t6, $t3, $t3  # public add
+  halt
+)";
+
+TEST(Masking, OriginalSecuresNothing) {
+  const auto r = apply_masking(prog(kPolicyProgram), Policy::kOriginal);
+  EXPECT_EQ(r.secured_count, 0u);
+  for (const auto& inst : r.program.text) EXPECT_FALSE(inst.secure);
+}
+
+TEST(Masking, SelectiveSecuresExactlyTheSlice) {
+  const auto r = apply_masking(prog(kPolicyProgram), Policy::kSelective);
+  // secret load, secret store, xor = 3.
+  EXPECT_EQ(r.secured_count, 3u);
+  for (std::size_t i = 0; i < r.program.text.size(); ++i) {
+    EXPECT_EQ(r.program.text[i].secure, static_cast<bool>(r.slice.in_slice[i]));
+  }
+}
+
+TEST(Masking, NaiveSecuresAllLoadsStores) {
+  const auto r = apply_masking(prog(kPolicyProgram), Policy::kNaiveLoadStore);
+  EXPECT_EQ(r.secured_count, 4u);  // 2 loads + 2 stores
+  for (const auto& inst : r.program.text) {
+    const auto& oi = isa::info(inst.op);
+    EXPECT_EQ(inst.secure, oi.is_load || oi.is_store);
+  }
+}
+
+TEST(Masking, AllSecureSecuresEverything) {
+  const auto r = apply_masking(prog(kPolicyProgram), Policy::kAllSecure);
+  EXPECT_EQ(r.secured_count, r.program.text.size());
+  for (const auto& inst : r.program.text) EXPECT_TRUE(inst.secure);
+}
+
+TEST(Masking, PolicyNames) {
+  EXPECT_EQ(policy_name(Policy::kOriginal), "original");
+  EXPECT_EQ(policy_name(Policy::kSelective), "selective");
+  EXPECT_EQ(policy_name(Policy::kNaiveLoadStore), "naive_loadstore");
+  EXPECT_EQ(policy_name(Policy::kAllSecure), "all_secure");
+}
+
+TEST(Masking, InputSecureBitsAreIgnored) {
+  // Hand-written "slw" in the source does not survive kOriginal: policies
+  // own the secure bits entirely.
+  const auto r = apply_masking(prog(R"(
+.data
+x: .word 1
+.text
+main:
+  la $t0, x
+  slw $t1, 0($t0)
+  halt
+)"),
+                               Policy::kOriginal);
+  for (const auto& inst : r.program.text) EXPECT_FALSE(inst.secure);
+}
+
+}  // namespace
+}  // namespace emask::compiler

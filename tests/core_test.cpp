@@ -1,0 +1,136 @@
+// Core MaskingPipeline API behaviours.
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.hpp"
+#include "core/masking_pipeline.hpp"
+#include "core/phase_profile.hpp"
+#include "des/asm_generator.hpp"
+#include "des/des.hpp"
+#include "isa/encoding.hpp"
+#include "util/rng.hpp"
+
+namespace emask::core {
+namespace {
+
+TEST(MaskingPipeline, FromSourceCompilesAndRuns) {
+  const auto p = MaskingPipeline::from_source(R"(
+.data
+x: .word 21
+.text
+main:
+  la $t0, x
+  lw $t1, 0($t0)
+  addu $t1, $t1, $t1
+  sw $t1, 0($t0)
+  halt
+)",
+                                              compiler::Policy::kOriginal);
+  const EncryptionRun run = p.run_raw();
+  EXPECT_TRUE(run.sim.halted);
+  EXPECT_GT(run.total_uj(), 0.0);
+  EXPECT_EQ(run.trace.size(), run.sim.cycles);
+}
+
+TEST(MaskingPipeline, BadSourcePropagatesAsmError) {
+  EXPECT_THROW(MaskingPipeline::from_source("main:\n  bogus\n",
+                                            compiler::Policy::kOriginal),
+               assembler::AsmError);
+}
+
+TEST(MaskingPipeline, StopAfterCyclesTruncates) {
+  const auto p = MaskingPipeline::des(compiler::Policy::kOriginal);
+  const EncryptionRun run = p.run_des(1, 2, /*stop_after_cycles=*/5000);
+  EXPECT_EQ(run.trace.size(), 5000u);
+  EXPECT_FALSE(run.sim.halted);
+  EXPECT_EQ(run.cipher, 0u);  // truncated runs report no ciphertext
+}
+
+TEST(MaskingPipeline, TruncatedPrefixMatchesFullRun) {
+  const auto p = MaskingPipeline::des(compiler::Policy::kSelective);
+  const EncryptionRun full = p.run_des(3, 4);
+  const EncryptionRun part = p.run_des(3, 4, 4000);
+  for (std::size_t i = 0; i < part.trace.size(); ++i) {
+    ASSERT_EQ(part.trace[i], full.trace[i]) << "cycle " << i;
+  }
+}
+
+TEST(MaskingPipeline, CustomTechParamsChangeEnergyNotBehaviour) {
+  energy::TechParams hot = energy::TechParams::smartcard_025um();
+  hot.e_clock_tree *= 2.0;
+  const auto base = MaskingPipeline::des(compiler::Policy::kOriginal);
+  const auto hotter = MaskingPipeline::des(compiler::Policy::kOriginal, hot);
+  const auto r1 = base.run_des(7, 8);
+  const auto r2 = hotter.run_des(7, 8);
+  EXPECT_EQ(r1.cipher, r2.cipher);
+  EXPECT_EQ(r1.sim.cycles, r2.sim.cycles);
+  EXPECT_GT(r2.total_uj(), r1.total_uj());
+}
+
+TEST(MaskingPipeline, SimConfigCycleBudgetEnforced) {
+  auto p = MaskingPipeline::des(compiler::Policy::kOriginal);
+  sim::SimConfig config;
+  config.max_cycles = 100;
+  p.set_sim_config(config);
+  EXPECT_THROW(p.run_des(1, 2), std::runtime_error);
+}
+
+TEST(MaskingPipeline, BreakdownTotalsMatchTrace) {
+  const auto p = MaskingPipeline::des(compiler::Policy::kSelective);
+  const EncryptionRun run = p.run_des(5, 6);
+  EXPECT_NEAR(run.breakdown.total() * 1e6, run.total_uj(), 1e-6);
+}
+
+TEST(MaskingPipeline, SecureBitsSurviveEncoding) {
+  // The secure bit the compiler sets must round-trip through the binary
+  // encoding the fetch stage uses.
+  const auto p = MaskingPipeline::des(compiler::Policy::kSelective);
+  for (const auto& inst : p.program().text) {
+    EXPECT_EQ(isa::decode(isa::encode(inst)), inst);
+  }
+}
+
+TEST(PhaseProfile, TotalsMatchWholeRunAndCoverEveryCycle) {
+  const auto p = MaskingPipeline::des(compiler::Policy::kSelective);
+  assembler::Program image = p.program();
+  des::poke_key(image, 0x133457799BBCDFF1ull);
+  des::poke_plaintext(image, 0x0123456789ABCDEFull);
+  const auto phases = core::profile_phases(p, image);
+  const EncryptionRun run = p.run_des(0x133457799BBCDFF1ull,
+                                      0x0123456789ABCDEFull);
+  std::uint64_t cycles = 0;
+  double uj = 0.0;
+  for (const auto& phase : phases) {
+    cycles += phase.cycles;
+    uj += phase.energy_uj;
+  }
+  EXPECT_EQ(cycles, run.sim.cycles);
+  EXPECT_NEAR(uj, run.total_uj(), 1e-6);
+  // Phase table covers the whole text contiguously.
+  for (std::size_t i = 1; i < phases.size(); ++i) {
+    EXPECT_EQ(phases[i].begin, phases[i - 1].end);
+  }
+  EXPECT_EQ(phases.back().end, p.program().text.size());
+  // The sixteen-round phases dominate the run.
+  double round_uj = 0.0;
+  for (const auto& phase : phases) {
+    if (phase.label != "ip_loop" && phase.label != "pc1_loop" &&
+        phase.label != "fp_loop" && phase.label != "pre_r" &&
+        phase.label != "pre_l" && phase.label != "main") {
+      round_uj += phase.energy_uj;
+    }
+  }
+  EXPECT_GT(round_uj / uj, 0.9);
+}
+
+TEST(MaskingPipeline, PolicyAccessorsConsistent) {
+  const auto p = MaskingPipeline::des(compiler::Policy::kNaiveLoadStore);
+  EXPECT_EQ(p.policy(), compiler::Policy::kNaiveLoadStore);
+  EXPECT_EQ(p.mask_result().secured_count, [&] {
+    std::size_t n = 0;
+    for (const auto& inst : p.program().text) n += inst.secure;
+    return n;
+  }());
+}
+
+}  // namespace
+}  // namespace emask::core

@@ -1,0 +1,269 @@
+// Processor energy model: maskable structures, per-component accounting,
+// and the central security property — secure activity has data-independent
+// energy.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "energy/activity.hpp"
+#include "energy/components.hpp"
+#include "energy/maskable.hpp"
+#include "energy/model.hpp"
+#include "energy/params.hpp"
+#include "util/rng.hpp"
+
+namespace emask::energy {
+namespace {
+
+TEST(TechParams, LineEnergyIsCV2) {
+  TechParams p;
+  EXPECT_NEAR(p.line_energy(1e-12) * 1e12, 6.25, 1e-9);  // paper example
+}
+
+TEST(MaskableBus, SecureTransferConstantAndResidueFree) {
+  const TechParams p;
+  MaskableBus bus(32, p.line_energy(100e-15));
+  util::Rng rng(1);
+  const double secure = bus.transfer(rng.next_u32(), true);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(bus.transfer(rng.next_u32(), true), secure);
+  }
+  // After a secure transfer the lines are left pre-charged: the following
+  // normal transfer has no rising edges, whatever the secure value was.
+  EXPECT_DOUBLE_EQ(bus.transfer(0x12345678u, false), 0.0);
+}
+
+TEST(MaskableBus, NormalTransferDependsOnHistory) {
+  const TechParams p;
+  MaskableBus bus(32, p.line_energy(100e-15));
+  (void)bus.transfer(0, false);
+  const double e1 = bus.transfer(0xFF, false);
+  (void)bus.transfer(0, false);
+  (void)bus.transfer(0xFF, false);
+  const double e2 = bus.transfer(0xFF00, false);  // 8 rising from 0xFF
+  EXPECT_DOUBLE_EQ(e1, e2);
+  EXPECT_GT(e1, 0.0);
+}
+
+TEST(MaskableBus, CouplingLeaksThroughSecureTransfers) {
+  // The ablation of the paper's conclusion: with adjacent-line coupling,
+  // secure transfers are no longer data-independent.
+  const TechParams p;
+  MaskableBus coupled(32, p.line_energy(100e-15), p.line_energy(20e-15));
+  const double e1 = coupled.transfer(0x00000000u, true);  // all-equal bits
+  const double e2 = coupled.transfer(0x55555555u, true);  // alternating bits
+  EXPECT_GT(e1, e2);
+
+  MaskableBus uncoupled(32, p.line_energy(100e-15));
+  EXPECT_DOUBLE_EQ(uncoupled.transfer(0x00000000u, true),
+                   uncoupled.transfer(0x55555555u, true));
+}
+
+TEST(MaskableBus, CouplingChargesOpposingNormalTransitions) {
+  const TechParams p;
+  const double unit = p.line_energy(10e-15);
+  MaskableBus bus(32, 0.0, unit);  // isolate the coupling term
+  (void)bus.transfer(0b01u, false);
+  // 0b01 -> 0b10: line0 falls while line1 rises (|delta| sum = 2), plus
+  // line1-line2 boundary (rise vs quiet = 1): 3 events.
+  EXPECT_DOUBLE_EQ(bus.transfer(0b10u, false), 3 * unit);
+  // No transitions: no coupling energy.
+  EXPECT_DOUBLE_EQ(bus.transfer(0b10u, false), 0.0);
+}
+
+TEST(MaskableLatch, SecureWriteConstant) {
+  const TechParams p;
+  const MaskableLatch latch(p.line_energy(p.c_latch_bit));
+  util::Rng rng(2);
+  const double secure = latch.write(rng.next_u64(), 64, true);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(latch.write(rng.next_u64(), 64, true), secure);
+  }
+  EXPECT_DOUBLE_EQ(secure, 64 * p.line_energy(p.c_latch_bit));
+}
+
+TEST(MaskableLatch, NormalWriteFollowsPopcount) {
+  const TechParams p;
+  const MaskableLatch latch(p.line_energy(p.c_latch_bit));
+  EXPECT_DOUBLE_EQ(latch.write(0, 64, false), 0.0);
+  EXPECT_DOUBLE_EQ(latch.write(0xF, 64, false),
+                   4 * p.line_energy(p.c_latch_bit));
+  // Bits beyond the declared width are ignored.
+  EXPECT_DOUBLE_EQ(latch.write(0xF00000000ull, 32, false), 0.0);
+}
+
+TEST(DynamicUnit, SecureConstantNormalValueDependent) {
+  const TechParams p;
+  const DynamicUnit adder(p.line_energy(p.c_adder_node), p.e_unit_base);
+  util::Rng rng(3);
+  const double secure = adder.evaluate(rng.next_u32(), true);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(adder.evaluate(rng.next_u32(), true), secure);
+  }
+  EXPECT_LT(adder.evaluate(0x1, false), adder.evaluate(0xFFFF, false));
+}
+
+// ---- Whole-model accounting ----
+
+CycleActivity idle_cycle() { return CycleActivity{}; }
+
+TEST(ProcessorModel, IdleCycleCostsOnlyClock) {
+  ProcessorEnergyModel m;
+  const double e = m.cycle(idle_cycle());
+  EXPECT_DOUBLE_EQ(e, m.params().e_clock_tree);
+  EXPECT_DOUBLE_EQ(m.breakdown().get(Component::kClockTree), e);
+  EXPECT_DOUBLE_EQ(m.breakdown().get(Component::kDecode), 0.0);
+}
+
+TEST(ProcessorModel, CycleEnergyEqualsBreakdownDelta) {
+  ProcessorEnergyModel m;
+  util::Rng rng(4);
+  double sum = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    CycleActivity a;
+    a.fetch = true;
+    a.fetch_bits = rng.next_u64() & 0x1FFFFFFFFull;
+    a.decode = true;
+    a.rf_reads = 2;
+    a.ex.valid = true;
+    a.ex.unit = isa::FuncUnit::kAdder;
+    a.ex.result = rng.next_u32();
+    a.mem.read = (i % 3) == 0;
+    a.mem.address = rng.next_u32() & ~3u;
+    a.mem.data = rng.next_u32();
+    a.rf_write = true;
+    a.id_ex = LatchWrite{true, false, rng.next_u64(), 64};
+    sum += m.cycle(a);
+  }
+  EXPECT_NEAR(sum, m.total_joules(), 1e-18);
+}
+
+TEST(ProcessorModel, SecureMemCycleIsDataIndependent) {
+  // Two models fed identical activity except for the (secure) memory data
+  // and address values must report identical energy.
+  ProcessorEnergyModel m1, m2;
+  util::Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    CycleActivity a1, a2;
+    a1.mem.read = a2.mem.read = true;
+    a1.mem.secure = a2.mem.secure = true;
+    a1.mem.address = rng.next_u32() & ~3u;
+    a2.mem.address = rng.next_u32() & ~3u;
+    a1.mem.data = rng.next_u32();
+    a2.mem.data = rng.next_u32();
+    EXPECT_DOUBLE_EQ(m1.cycle(a1), m2.cycle(a2));
+  }
+}
+
+TEST(ProcessorModel, NormalMemCycleIsDataDependent) {
+  ProcessorEnergyModel m1, m2;
+  CycleActivity a1, a2;
+  a1.mem.read = a2.mem.read = true;
+  a1.mem.address = a2.mem.address = 0x1000;
+  a1.mem.data = 0x0;
+  a2.mem.data = 0xFFFFFFFFu;
+  EXPECT_LT(m1.cycle(a1), m2.cycle(a2));
+}
+
+TEST(ProcessorModel, SecureExecuteIsDataIndependentPerUnit) {
+  for (const isa::FuncUnit unit :
+       {isa::FuncUnit::kAdder, isa::FuncUnit::kLogic, isa::FuncUnit::kShifter,
+        isa::FuncUnit::kXorUnit}) {
+    ProcessorEnergyModel m1, m2;
+    util::Rng rng(6);
+    // Warm both XOR circuits identically (one secure cycle).
+    for (ProcessorEnergyModel* m : {&m1, &m2}) {
+      CycleActivity w;
+      w.ex.valid = true;
+      w.ex.unit = unit;
+      w.ex.secure = true;
+      w.ex.a = 1;
+      w.ex.b = 2;
+      w.ex.result = 3;
+      (void)m->cycle(w);
+    }
+    for (int i = 0; i < 50; ++i) {
+      CycleActivity a1, a2;
+      for (auto* a : {&a1, &a2}) {
+        a->ex.valid = true;
+        a->ex.unit = unit;
+        a->ex.secure = true;
+      }
+      a1.ex.a = rng.next_u32();
+      a1.ex.b = rng.next_u32();
+      a1.ex.result = a1.ex.a ^ a1.ex.b;
+      a2.ex.a = rng.next_u32();
+      a2.ex.b = rng.next_u32();
+      a2.ex.result = a2.ex.a ^ a2.ex.b;
+      EXPECT_DOUBLE_EQ(m1.cycle(a1), m2.cycle(a2))
+          << "unit " << static_cast<int>(unit);
+    }
+  }
+}
+
+TEST(ProcessorModel, SecureLatchWritesAreDataIndependent) {
+  ProcessorEnergyModel m1, m2;
+  util::Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    CycleActivity a1, a2;
+    a1.id_ex = LatchWrite{true, true, rng.next_u64(), 64};
+    a2.id_ex = LatchWrite{true, true, rng.next_u64(), 64};
+    EXPECT_DOUBLE_EQ(m1.cycle(a1), m2.cycle(a2));
+  }
+}
+
+TEST(ProcessorModel, XorUnitMatchesPaperConstants) {
+  // Secure XOR ~0.6 pJ steady-state; normal averages ~0.3 pJ.
+  ProcessorEnergyModel m;
+  util::Rng rng(8);
+  auto xor_cycle = [&](bool secure) {
+    CycleActivity a;
+    a.ex.valid = true;
+    a.ex.unit = isa::FuncUnit::kXorUnit;
+    a.ex.secure = secure;
+    a.ex.a = rng.next_u32();
+    a.ex.b = rng.next_u32();
+    a.ex.result = a.ex.a ^ a.ex.b;
+    return m.cycle(a) - m.params().e_clock_tree;
+  };
+  (void)xor_cycle(true);  // warm up
+  EXPECT_NEAR(xor_cycle(true) * 1e12, 0.6, 0.01);
+  double sum = 0.0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) sum += xor_cycle(false);
+  EXPECT_NEAR(sum / n * 1e12, 0.3, 0.02);
+}
+
+TEST(ProcessorModel, DummyLoadChargedPerSecureWriteback) {
+  ProcessorEnergyModel m;
+  CycleActivity a;
+  a.rf_write = true;
+  a.wb_secure = true;
+  (void)m.cycle(a);
+  EXPECT_DOUBLE_EQ(m.breakdown().get(Component::kDummyLoad),
+                   m.params().e_dummy_load);
+}
+
+TEST(Breakdown, TotalSumsComponents) {
+  Breakdown b;
+  b.add(Component::kAdder, 1.0);
+  b.add(Component::kDataBus, 2.5);
+  b.add(Component::kAdder, 0.5);
+  EXPECT_DOUBLE_EQ(b.get(Component::kAdder), 1.5);
+  EXPECT_DOUBLE_EQ(b.total(), 4.0);
+  b.clear();
+  EXPECT_DOUBLE_EQ(b.total(), 0.0);
+}
+
+TEST(Components, NamesAreUniqueAndNonEmpty) {
+  std::set<std::string_view> names;
+  for (std::size_t i = 0; i < kNumComponents; ++i) {
+    const auto n = component_name(static_cast<Component>(i));
+    EXPECT_FALSE(n.empty());
+    EXPECT_TRUE(names.insert(n).second) << n;
+  }
+}
+
+}  // namespace
+}  // namespace emask::energy

@@ -1,0 +1,206 @@
+// End-to-end: the generated assembly DES, compiled under every masking
+// policy, must produce bit-exact FIPS ciphertexts on the cycle-accurate
+// pipeline — and the masking must actually flatten key-dependent energy.
+#include <gtest/gtest.h>
+
+#include "analysis/trace.hpp"
+#include "compiler/masking.hpp"
+#include "core/masking_pipeline.hpp"
+#include "des/des.hpp"
+#include "util/rng.hpp"
+
+namespace emask {
+namespace {
+
+TEST(DesOnPipeline, MatchesGoldenModelClassicVector) {
+  const auto pipeline = core::MaskingPipeline::des(compiler::Policy::kOriginal);
+  const core::EncryptionRun run =
+      pipeline.run_des(0x133457799BBCDFF1ull, 0x0123456789ABCDEFull);
+  EXPECT_TRUE(run.sim.halted);
+  EXPECT_EQ(run.cipher, 0x85E813540F0AB405ull);
+}
+
+class DesPolicyTest : public ::testing::TestWithParam<compiler::Policy> {};
+
+TEST_P(DesPolicyTest, MatchesGoldenModelOnRandomInputs) {
+  const auto pipeline = core::MaskingPipeline::des(GetParam());
+  util::Rng rng(0x5EED + static_cast<std::uint64_t>(GetParam()));
+  for (int i = 0; i < 3; ++i) {
+    const std::uint64_t key = rng.next_u64();
+    const std::uint64_t pt = rng.next_u64();
+    const core::EncryptionRun run = pipeline.run_des(key, pt);
+    EXPECT_EQ(run.cipher, des::encrypt_block(pt, key))
+        << "key=" << key << " pt=" << pt;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, DesPolicyTest,
+                         ::testing::Values(compiler::Policy::kOriginal,
+                                           compiler::Policy::kSelective,
+                                           compiler::Policy::kNaiveLoadStore,
+                                           compiler::Policy::kAllSecure),
+                         [](const auto& info) {
+                           return std::string(
+                               compiler::policy_name(info.param));
+                         });
+
+TEST(DesOnPipeline, DecryptionProgramInvertsEncryption) {
+  des::DesAsmOptions decrypt_opts;
+  decrypt_opts.decrypt = true;
+  const auto enc = core::MaskingPipeline::des(compiler::Policy::kOriginal);
+  const auto dec = core::MaskingPipeline::des(compiler::Policy::kOriginal,
+                                              energy::TechParams::smartcard_025um(),
+                                              decrypt_opts);
+  util::Rng rng(0xDEC);
+  for (int i = 0; i < 3; ++i) {
+    const std::uint64_t key = rng.next_u64();
+    const std::uint64_t pt = rng.next_u64();
+    const std::uint64_t ct = enc.run_des(key, pt).cipher;
+    EXPECT_EQ(ct, des::encrypt_block(pt, key));
+    EXPECT_EQ(dec.run_des(key, ct).cipher, pt);
+  }
+}
+
+TEST(DesOnPipeline, MaskedDecryptionAlsoFlat) {
+  des::DesAsmOptions decrypt_opts;
+  decrypt_opts.decrypt = true;
+  const auto dec = core::MaskingPipeline::des(compiler::Policy::kSelective,
+                                              energy::TechParams::smartcard_025um(),
+                                              decrypt_opts);
+  EXPECT_TRUE(dec.mask_result().slice.diagnostics.empty());
+  const std::uint64_t ct = 0x85E813540F0AB405ull;
+  const std::uint64_t k1 = 0x133457799BBCDFF1ull;
+  const std::uint64_t k2 = k1 ^ (1ull << 62);
+  const auto diff =
+      dec.run_des(k1, ct).trace.difference(dec.run_des(k2, ct).trace);
+  const auto body = diff.slice(0, static_cast<std::size_t>(
+                                      static_cast<double>(diff.size()) * 0.9));
+  EXPECT_EQ(body.max_abs(), 0.0);
+}
+
+TEST(DesOnPipeline, SelectiveSliceHasNoProtectionHoles) {
+  const auto pipeline =
+      core::MaskingPipeline::des(compiler::Policy::kSelective);
+  for (const auto& d : pipeline.mask_result().slice.diagnostics) {
+    ADD_FAILURE() << "diagnostic: " << d.message;
+  }
+  // A substantial but proper subset of the program is secured.
+  const std::size_t secured = pipeline.mask_result().secured_count;
+  EXPECT_GT(secured, 20u);
+  EXPECT_LT(secured, pipeline.program().text.size());
+}
+
+TEST(DesOnPipeline, CycleCountIsDeterministic) {
+  const auto pipeline = core::MaskingPipeline::des(compiler::Policy::kOriginal);
+  const auto r1 = pipeline.run_des(1, 2);
+  const auto r2 = pipeline.run_des(1, 2);
+  EXPECT_EQ(r1.sim.cycles, r2.sim.cycles);
+  EXPECT_EQ(r1.trace.samples(), r2.trace.samples());
+}
+
+TEST(DesOnPipeline, CycleCountIsKeyIndependent) {
+  // No secret-dependent control flow: every key/plaintext takes exactly the
+  // same number of cycles (timing-attack immunity of the code layout).
+  const auto pipeline = core::MaskingPipeline::des(compiler::Policy::kOriginal);
+  util::Rng rng(42);
+  const std::uint64_t cycles = pipeline.run_des(rng.next_u64(), 0).sim.cycles;
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(pipeline.run_des(rng.next_u64(), rng.next_u64()).sim.cycles,
+              cycles);
+  }
+}
+
+TEST(DesOnPipeline, MaskingFlattensKeyDifferential) {
+  // Two keys differing in one effective bit, same plaintext: before masking
+  // the differential trace has structure; after (selective) masking it is
+  // identically zero everywhere except the declassified output permutation
+  // — which carries only ciphertext-equivalent (public) data, and the two
+  // ciphertexts legitimately differ (paper Figs. 8 vs 9, which show the
+  // first round; Fig. 2(b) leaves the output permutation insecure).
+  const std::uint64_t k1 = 0x133457799BBCDFF1ull;
+  const std::uint64_t k2 = k1 ^ (1ull << 62);
+  const std::uint64_t pt = 0x0123456789ABCDEFull;
+
+  const auto original =
+      core::MaskingPipeline::des(compiler::Policy::kOriginal);
+  const auto d_orig = original.run_des(k1, pt)
+                          .trace.difference(original.run_des(k2, pt).trace);
+  EXPECT_GT(d_orig.max_abs(), 0.0);
+
+  const auto masked =
+      core::MaskingPipeline::des(compiler::Policy::kSelective);
+  const auto d_mask = masked.run_des(k1, pt)
+                          .trace.difference(masked.run_des(k2, pt).trace);
+  // Everything through round 16 (≈95% of the run) is exactly flat.
+  const auto body = d_mask.slice(0, static_cast<std::size_t>(
+                                        static_cast<double>(d_mask.size()) *
+                                        0.95));
+  EXPECT_EQ(body.max_abs(), 0.0);
+  // The output permutation differs — but only because the public
+  // ciphertexts differ; an attacker learns nothing beyond the ciphertext.
+  EXPECT_GT(d_mask.slice(body.size(), d_mask.size()).max_abs(), 0.0);
+}
+
+TEST(DesOnPipeline, MaskingLeavesOnlyPlaintextPermutationDifference) {
+  // Two plaintexts, same key: after masking, differences remain only in the
+  // (unprotected) initial permutation prefix (paper Figs. 10 vs 11).
+  const std::uint64_t key = 0x133457799BBCDFF1ull;
+  const auto masked = core::MaskingPipeline::des(compiler::Policy::kSelective);
+  const auto r1 = masked.run_des(key, 0x0123456789ABCDEFull);
+  const auto r2 = masked.run_des(key, 0xFEDCBA9876543210ull);
+  const auto diff = r1.trace.difference(r2.trace);
+  EXPECT_GT(diff.max_abs(), 0.0);  // the initial permutation still differs
+  // But the tail (the 16 secured rounds) is flat: find the last nonzero.
+  std::size_t last_nonzero = 0;
+  for (std::size_t i = 0; i < diff.size(); ++i) {
+    if (diff[i] != 0.0) last_nonzero = i;
+  }
+  // The initial permutation is the first ~1.5% of the run; everything
+  // after it (rounds + output permutation, which only sees data equal to
+  // the public cipher... which differs!) — the output portion may differ
+  // too, since the ciphertexts differ.  What must be flat is the middle:
+  // assert some nonzero exists before 10% and the rounds portion is mostly
+  // zero by energy mass.
+  double mid_mass = 0.0;
+  const auto begin = static_cast<std::size_t>(diff.size() * 0.10);
+  const auto end = static_cast<std::size_t>(diff.size() * 0.90);
+  for (std::size_t i = begin; i < end; ++i) mid_mass += std::abs(diff[i]);
+  EXPECT_EQ(mid_mass, 0.0) << "secured rounds leak plaintext-dependent energy";
+  EXPECT_GE(last_nonzero, end);  // output permutation differs (public data)
+}
+
+TEST(DesOnPipeline, TotalEnergyOrderingMatchesPaper) {
+  const std::uint64_t key = 0x133457799BBCDFF1ull;
+  const std::uint64_t pt = 0x0123456789ABCDEFull;
+  const double original =
+      core::MaskingPipeline::des(compiler::Policy::kOriginal)
+          .run_des(key, pt)
+          .total_uj();
+  const double selective =
+      core::MaskingPipeline::des(compiler::Policy::kSelective)
+          .run_des(key, pt)
+          .total_uj();
+  const double naive =
+      core::MaskingPipeline::des(compiler::Policy::kNaiveLoadStore)
+          .run_des(key, pt)
+          .total_uj();
+  const double all =
+      core::MaskingPipeline::des(compiler::Policy::kAllSecure)
+          .run_des(key, pt)
+          .total_uj();
+  EXPECT_LT(original, selective);
+  EXPECT_LT(selective, naive);
+  EXPECT_LT(naive, all);
+  // Headline claim: selective masking overhead is ~83% below full dual-rail
+  // (paper: 52.6 uJ vs 83.5 uJ over a 46.4 uJ baseline).
+  const double saving = 1.0 - (selective - original) / (all - original);
+  EXPECT_NEAR(saving, 0.83, 0.04) << "selective=" << selective
+                                  << " all=" << all;
+  // Relative costs match the paper's in-text table.
+  EXPECT_NEAR(selective / original, 52.6 / 46.4, 0.03);
+  EXPECT_NEAR(all / original, 83.5 / 46.4, 0.05);
+  EXPECT_NEAR(naive / original, 63.6 / 46.4, 0.08);
+}
+
+}  // namespace
+}  // namespace emask

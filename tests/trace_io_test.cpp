@@ -1,0 +1,85 @@
+// EMTS trace-set persistence.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "analysis/trace_io.hpp"
+#include "util/rng.hpp"
+
+namespace emask::analysis {
+namespace {
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(TraceIo, RoundTrip) {
+  const std::string path = temp_path("roundtrip.emts");
+  TraceSet original;
+  util::Rng rng(1);
+  for (int i = 0; i < 7; ++i) {
+    std::vector<double> v(33);
+    for (auto& s : v) s = 100.0 + rng.next_gaussian();
+    original.add(rng.next_u64(), Trace(std::move(v)));
+  }
+  save_trace_set(path, original);
+  const TraceSet loaded = load_trace_set(path);
+  ASSERT_EQ(loaded.size(), original.size());
+  EXPECT_EQ(loaded.inputs, original.inputs);
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    ASSERT_EQ(loaded.traces[i].size(), original.traces[i].size());
+    for (std::size_t j = 0; j < loaded.traces[i].size(); ++j) {
+      // float32 quantization only.
+      EXPECT_NEAR(loaded.traces[i][j], original.traces[i][j],
+                  1e-4 * std::abs(original.traces[i][j]));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, EmptySetRoundTrips) {
+  const std::string path = temp_path("empty.emts");
+  save_trace_set(path, TraceSet{});
+  EXPECT_EQ(load_trace_set(path).size(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, RejectsMixedLengths) {
+  TraceSet bad;
+  bad.add(1, Trace({1.0, 2.0}));
+  bad.add(2, Trace({1.0}));
+  EXPECT_THROW(save_trace_set(temp_path("bad.emts"), bad),
+               std::runtime_error);
+}
+
+TEST(TraceIo, RejectsBadMagic) {
+  const std::string path = temp_path("magic.emts");
+  std::ofstream(path) << "NOPE-this-is-not-a-trace-set";
+  EXPECT_THROW(load_trace_set(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, RejectsTruncation) {
+  const std::string path = temp_path("trunc.emts");
+  TraceSet set;
+  set.add(42, Trace(std::vector<double>(64, 1.0)));
+  save_trace_set(path, set);
+  // Chop the tail off.
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  out.close();
+  EXPECT_THROW(load_trace_set(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW(load_trace_set("/nonexistent/x.emts"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace emask::analysis

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/bitops.hpp"
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace emask::util {
+namespace {
+
+TEST(Bitops, HammingDistance) {
+  EXPECT_EQ(hamming_distance(0, 0), 0);
+  EXPECT_EQ(hamming_distance(0xFFFFFFFFu, 0), 32);
+  EXPECT_EQ(hamming_distance(0b1010, 0b0101), 4);
+  EXPECT_EQ(hamming_distance(0x80000000u, 0), 1);
+}
+
+TEST(Bitops, BitOfAndWithBit) {
+  EXPECT_EQ(bit_of(0b100, 2), 1u);
+  EXPECT_EQ(bit_of(0b100, 1), 0u);
+  EXPECT_EQ(with_bit(0, 5, 1), 32u);
+  EXPECT_EQ(with_bit(0xFFFFFFFFu, 0, 0), 0xFFFFFFFEu);
+}
+
+TEST(Bitops, SignExtend) {
+  EXPECT_EQ(sign_extend(0xFFFF, 16), 0xFFFFFFFFu);
+  EXPECT_EQ(sign_extend(0x7FFF, 16), 0x7FFFu);
+  EXPECT_EQ(sign_extend(0x80, 8), 0xFFFFFF80u);
+  EXPECT_EQ(sign_extend(0x7F, 8), 0x7Fu);
+}
+
+TEST(Bitops, PackUnpackRoundTrip) {
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t x = rng.next_u64();
+    EXPECT_EQ(pack_block_msb_first(unpack_block_msb_first(x)), x);
+  }
+}
+
+TEST(Bitops, UnpackIsMsbFirst) {
+  const auto bits = unpack_block_msb_first(1ull << 63);
+  EXPECT_EQ(bits[0], 1u);
+  for (int i = 1; i < 64; ++i) EXPECT_EQ(bits[static_cast<std::size_t>(i)], 0u);
+}
+
+TEST(Bitops, PackRejectsWrongSize) {
+  EXPECT_THROW((void)pack_block_msb_first(std::vector<std::uint32_t>(63)),
+               std::invalid_argument);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(11);
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) s.add(rng.next_gaussian());
+  EXPECT_NEAR(s.mean(), 0.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 1.0, 0.05);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(17), 17u);
+}
+
+TEST(Stats, RunningStatsMeanVariance) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(Stats, VarianceOfSingleSampleIsZero) {
+  RunningStats s;
+  s.add(3.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  std::vector<double> a{1, 2, 3, 4};
+  std::vector<double> b{2, 4, 6, 8};
+  std::vector<double> c{-1, -2, -3, -4};
+  EXPECT_NEAR(pearson(a, b), 1.0, 1e-12);
+  EXPECT_NEAR(pearson(a, c), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonDegenerateIsZero) {
+  std::vector<double> a{1, 1, 1};
+  std::vector<double> b{1, 2, 3};
+  EXPECT_EQ(pearson(a, b), 0.0);
+}
+
+TEST(Stats, PearsonSizeMismatchThrows) {
+  EXPECT_THROW((void)pearson({1, 2}, {1, 2, 3}), std::invalid_argument);
+}
+
+TEST(Stats, ArgmaxAbs) {
+  EXPECT_EQ(argmax_abs({1.0, -5.0, 3.0}), 1u);
+  EXPECT_EQ(argmax_abs({}), 0u);
+}
+
+TEST(Stats, WelchTSeparatesDistinctMeans) {
+  RunningStats g0, g1;
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    g0.add(rng.next_gaussian());
+    g1.add(rng.next_gaussian() + 1.0);
+  }
+  EXPECT_LT(welch_t(g0, g1), -5.0);
+}
+
+TEST(Csv, WritesHeaderAndRows) {
+  const std::string path = ::testing::TempDir() + "/emask_csv_test.csv";
+  {
+    CsvWriter csv(path);
+    csv.write_header({"a", "b"});
+    csv.write_row({1.5, 2.0});
+    csv.flush();
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1.5,2");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, ThrowsOnUnopenablePath) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace emask::util

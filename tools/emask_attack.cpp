@@ -1,0 +1,201 @@
+// emask-attack: mount side-channel attacks against the simulated DES
+// smart card.
+//
+//   emask-attack [options]
+//
+//   --attack=dpa|cpa|tvla     attack type (default: cpa)
+//   --policy=NAME             device protection (default: original)
+//   --traces=N                trace budget (default: 400)
+//   --sbox=S                  target round-1 S-box, 1..8 (default: 1)
+//   --bit=B                   DPA target output bit, 0..3 (default: 0)
+//   --key=HEX                 the card's (secret) key
+//   --noise=PJ                Gaussian measurement noise sigma, pJ
+//   --coupling=FF             adjacent-line bus coupling, fF
+//   --from=FILE               attack a previously captured EMTS trace set
+//                             (see emask-capture) instead of the live card
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "analysis/cpa.hpp"
+#include "analysis/dpa.hpp"
+#include "analysis/trace_io.hpp"
+#include "analysis/tvla.hpp"
+#include "core/leakage_map.hpp"
+#include "core/masking_pipeline.hpp"
+#include "util/rng.hpp"
+
+using namespace emask;
+
+namespace {
+
+constexpr std::size_t kRound1End = 13000;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: emask-attack [--attack=dpa|cpa|tvla|localize] [--policy=NAME]\n"
+               "                    [--traces=N] [--sbox=1..8] [--bit=0..3]\n"
+               "                    [--key=HEX] [--noise=PJ] [--coupling=FF]\n");
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string attack = "cpa";
+  compiler::Policy policy = compiler::Policy::kOriginal;
+  int traces = 400;
+  int sbox = 0;
+  int bit = 0;
+  std::uint64_t key = 0x133457799BBCDFF1ull;
+  double noise_pj = 0.0;
+  double coupling_ff = 0.0;
+  std::string from_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--attack=", 0) == 0) {
+      attack = arg.substr(9);
+    } else if (arg.rfind("--policy=", 0) == 0) {
+      const std::string name = arg.substr(9);
+      bool found = false;
+      for (const compiler::Policy p :
+           {compiler::Policy::kOriginal, compiler::Policy::kSelective,
+            compiler::Policy::kNaiveLoadStore, compiler::Policy::kAllSecure}) {
+        if (name == compiler::policy_name(p)) {
+          policy = p;
+          found = true;
+        }
+      }
+      if (!found) return usage();
+    } else if (arg.rfind("--traces=", 0) == 0) {
+      traces = std::atoi(arg.substr(9).c_str());
+    } else if (arg.rfind("--sbox=", 0) == 0) {
+      sbox = std::atoi(arg.substr(7).c_str()) - 1;
+    } else if (arg.rfind("--bit=", 0) == 0) {
+      bit = std::atoi(arg.substr(6).c_str());
+    } else if (arg.rfind("--key=", 0) == 0) {
+      key = std::strtoull(arg.substr(6).c_str(), nullptr, 16);
+    } else if (arg.rfind("--noise=", 0) == 0) {
+      noise_pj = std::atof(arg.substr(8).c_str());
+    } else if (arg.rfind("--coupling=", 0) == 0) {
+      coupling_ff = std::atof(arg.substr(11).c_str());
+    } else if (arg.rfind("--from=", 0) == 0) {
+      from_path = arg.substr(7);
+    } else {
+      return usage();
+    }
+  }
+  if (sbox < 0 || sbox > 7 || bit < 0 || bit > 3 || traces < 2) {
+    return usage();
+  }
+
+  try {
+    const energy::TechParams params =
+        coupling_ff > 0.0
+            ? energy::TechParams::smartcard_025um_with_coupling(coupling_ff *
+                                                                1e-15)
+            : energy::TechParams::smartcard_025um();
+    const auto device = core::MaskingPipeline::des(policy, params);
+    analysis::NoiseModel noise(noise_pj, 0xC0FFEE);
+    util::Rng rng(0xA77AC4);
+
+    // Offline mode: replay a captured trace set instead of the live card.
+    analysis::TraceSet offline;
+    std::size_t offline_next = 0;
+    if (!from_path.empty()) {
+      offline = analysis::load_trace_set(from_path);
+      traces = static_cast<int>(offline.size());
+      std::printf("loaded %zu traces x %zu cycles from %s\n", offline.size(),
+                  offline.traces.empty() ? 0 : offline.traces[0].size(),
+                  from_path.c_str());
+    } else {
+      std::printf("device   : %s policy, %s coupling, noise sigma %.1f pJ\n",
+                  compiler::policy_name(policy).data(),
+                  coupling_ff > 0 ? "with" : "no", noise_pj);
+      std::printf("capturing %d round-1 traces...\n", traces);
+    }
+
+    const auto next_input = [&]() -> std::uint64_t {
+      if (!from_path.empty()) return offline.inputs[offline_next];
+      return rng.next_u64();
+    };
+    const auto capture = [&](std::uint64_t pt) {
+      if (!from_path.empty()) return offline.traces[offline_next++];
+      analysis::Trace t = device.run_des(key, pt, kRound1End).trace;
+      return noise_pj > 0.0 ? noise.apply(t) : t;
+    };
+    const int truth = analysis::DpaAttack::true_subkey_chunk(key, sbox);
+
+    if (attack == "dpa") {
+      analysis::DpaConfig cfg;
+      cfg.sbox = sbox;
+      cfg.bit = bit;
+      cfg.window_begin = 3000;
+      cfg.window_end = kRound1End;
+      analysis::DpaAttack dpa(cfg);
+      for (int i = 0; i < traces; ++i) {
+        const std::uint64_t pt = next_input();
+        dpa.add_trace(pt, capture(pt));
+      }
+      const analysis::DpaResult r = dpa.solve();
+      std::printf("DoM peak %.4f pJ for guess %d (margin %.2fx); true "
+                  "chunk %d -> %s\n",
+                  r.best_peak, r.best_guess, r.margin(), truth,
+                  r.best_guess == truth ? "RECOVERED" : "not recovered");
+      return r.best_guess == truth ? 0 : 3;
+    }
+    if (attack == "cpa") {
+      analysis::CpaConfig cfg;
+      cfg.sbox = sbox;
+      cfg.window_begin = 3000;
+      cfg.window_end = kRound1End;
+      analysis::CpaAttack cpa(cfg);
+      for (int i = 0; i < traces; ++i) {
+        const std::uint64_t pt = next_input();
+        cpa.add_trace(pt, capture(pt));
+      }
+      const analysis::CpaResult r = cpa.solve();
+      std::printf("|rho| %.4f for guess %d (margin %.2fx); true chunk %d "
+                  "-> %s\n",
+                  r.best_corr, r.best_guess, r.margin(), truth,
+                  r.best_guess == truth ? "RECOVERED" : "not recovered");
+      return r.best_guess == truth ? 0 : 3;
+    }
+    if (attack == "localize") {
+      const core::LeakageMap map = core::localize_des_leakage(
+          device, key, 0x0123456789ABCDEFull, std::max(2, traces / 2));
+      std::printf("leaking cycles: %zu (max |t| %.1f) across %zu source "
+                  "sites\n",
+                  map.total_leaking_cycles, map.max_abs_t, map.sites.size());
+      std::printf("%6s %6s  %-26s %8s %8s\n", "line", "index", "instruction",
+                  "cycles", "max |t|");
+      int shown = 0;
+      for (const core::LeakSite& site : map.sites) {
+        if (shown++ >= 15) break;
+        std::printf("%6d %6u  %-26s %8zu %8.1f\n", site.source_line,
+                    site.instr_index, site.instruction.c_str(),
+                    site.leaking_cycles, site.max_abs_t);
+      }
+      return map.leaks() ? 3 : 0;
+    }
+    if (attack == "tvla") {
+      analysis::TvlaAssessment tvla(3000, kRound1End);
+      for (int i = 0; i < traces / 2; ++i) {
+        tvla.add_fixed(capture(0x0123456789ABCDEFull));
+        tvla.add_random(capture(rng.next_u64()));
+      }
+      const analysis::TvlaResult r = tvla.solve();
+      std::printf("TVLA: max |t| = %.2f at cycle %zu; %zu cycles over the "
+                  "4.5 threshold -> %s\n",
+                  r.max_abs_t, r.worst_cycle, r.cycles_over_threshold,
+                  r.leaks() ? "LEAKS" : "passes");
+      return r.leaks() ? 3 : 0;
+    }
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "emask-attack: %s\n", e.what());
+    return 2;
+  }
+}

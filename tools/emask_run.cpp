@@ -1,0 +1,177 @@
+// emask-run: assemble, protect, and simulate an annotated assembly program.
+//
+//   emask-run program.s [options]
+//
+//   --policy=original|selective|naive_loadstore|all_secure   (default:
+//       selective)
+//   --trace=FILE.csv      write the per-cycle energy trace
+//   --listing             print the compiled program with secure markings
+//   --breakdown           print the per-component energy table
+//   --phases              print energy per labelled program phase
+//   --coupling=FF         enable adjacent-line bus coupling (femtofarads)
+//   --max-cycles=N        simulation budget (default 50M)
+//
+// Exit status: 0 on success, 1 on usage errors, 2 on compile/run errors.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "core/masking_pipeline.hpp"
+#include "core/phase_profile.hpp"
+#include "energy/components.hpp"
+#include "util/csv.hpp"
+
+using namespace emask;
+
+namespace {
+
+std::optional<compiler::Policy> parse_policy(const std::string& name) {
+  for (const compiler::Policy p :
+       {compiler::Policy::kOriginal, compiler::Policy::kSelective,
+        compiler::Policy::kNaiveLoadStore, compiler::Policy::kAllSecure}) {
+    if (name == compiler::policy_name(p)) return p;
+  }
+  return std::nullopt;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: emask-run program.s [--policy=NAME] [--trace=FILE] "
+               "[--listing]\n"
+               "                 [--breakdown] [--phases] [--coupling=FF] "
+               "[--max-cycles=N]\n"
+               "policies: original selective naive_loadstore all_secure\n");
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string source_path;
+  std::string trace_path;
+  compiler::Policy policy = compiler::Policy::kSelective;
+  bool listing = false;
+  bool breakdown = false;
+  bool phases = false;
+  double coupling_ff = 0.0;
+  std::uint64_t max_cycles = 50'000'000;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--policy=", 0) == 0) {
+      const auto p = parse_policy(arg.substr(9));
+      if (!p) return usage();
+      policy = *p;
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      trace_path = arg.substr(8);
+    } else if (arg == "--listing") {
+      listing = true;
+    } else if (arg == "--breakdown") {
+      breakdown = true;
+    } else if (arg == "--phases") {
+      phases = true;
+    } else if (arg.rfind("--coupling=", 0) == 0) {
+      coupling_ff = std::atof(arg.substr(11).c_str());
+    } else if (arg.rfind("--max-cycles=", 0) == 0) {
+      max_cycles = std::strtoull(arg.substr(13).c_str(), nullptr, 10);
+    } else if (arg.rfind("--", 0) == 0) {
+      return usage();
+    } else if (source_path.empty()) {
+      source_path = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (source_path.empty()) return usage();
+
+  std::ifstream in(source_path);
+  if (!in) {
+    std::fprintf(stderr, "emask-run: cannot open %s\n", source_path.c_str());
+    return 2;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  try {
+    const energy::TechParams params =
+        coupling_ff > 0.0
+            ? energy::TechParams::smartcard_025um_with_coupling(coupling_ff *
+                                                                1e-15)
+            : energy::TechParams::smartcard_025um();
+    const auto pipeline =
+        core::MaskingPipeline::from_source(buffer.str(), policy, params);
+
+    const auto& mr = pipeline.mask_result();
+    std::printf("policy    : %s\n", compiler::policy_name(policy).data());
+    std::printf("program   : %zu instructions, %zu secured\n",
+                pipeline.program().text.size(), mr.secured_count);
+    for (const auto& d : mr.slice.diagnostics) {
+      std::printf("diagnostic: line %d: %s\n", d.source_line,
+                  d.message.c_str());
+    }
+    if (listing) {
+      for (std::size_t i = 0; i < pipeline.program().text.size(); ++i) {
+        std::printf("%5zu  %s\n", i,
+                    pipeline.program().text[i].to_string().c_str());
+      }
+    }
+
+    sim::SimConfig config;
+    config.max_cycles = max_cycles;
+    // run_raw with a custom budget: replicate the core loop here so the CLI
+    // can honour --max-cycles.
+    sim::Pipeline machine(pipeline.program(), config);
+    energy::ProcessorEnergyModel model(params);
+    analysis::Trace trace;
+    const sim::SimResult result =
+        machine.run([&](const energy::CycleActivity& a) {
+          trace.push(model.cycle(a) * 1e12);
+        });
+
+    std::printf("cycles    : %llu (%llu instructions, CPI %.3f, %llu "
+                "stalls, %llu flushes)\n",
+                static_cast<unsigned long long>(result.cycles),
+                static_cast<unsigned long long>(result.instructions),
+                result.cpi(), static_cast<unsigned long long>(result.stalls),
+                static_cast<unsigned long long>(result.flushes));
+    std::printf("energy    : %.3f uJ (%.1f pJ/cycle)\n", trace.total_uj(),
+                trace.mean_pj());
+
+    if (breakdown) {
+      std::printf("\n%-14s %12s\n", "component", "energy (uJ)");
+      for (std::size_t c = 0; c < energy::kNumComponents; ++c) {
+        const auto comp = static_cast<energy::Component>(c);
+        std::printf("%-14s %12.4f\n",
+                    std::string(energy::component_name(comp)).c_str(),
+                    model.breakdown().get(comp) * 1e6);
+      }
+    }
+    if (phases) {
+      std::printf("\n%-16s %10s %12s %12s\n", "phase", "cycles",
+                  "energy (uJ)", "pJ/cycle");
+      for (const core::PhaseEnergy& p :
+           core::profile_phases(pipeline, pipeline.program())) {
+        if (p.cycles == 0) continue;
+        std::printf("%-16s %10llu %12.4f %12.1f\n", p.label.c_str(),
+                    static_cast<unsigned long long>(p.cycles), p.energy_uj,
+                    p.pj_per_cycle());
+      }
+    }
+    if (!trace_path.empty()) {
+      util::CsvWriter csv(trace_path);
+      csv.write_header({"cycle", "energy_pj"});
+      for (std::size_t i = 0; i < trace.size(); ++i) {
+        csv.write_row({static_cast<double>(i), trace[i]});
+      }
+      std::printf("trace     : %s (%zu samples)\n", trace_path.c_str(),
+                  trace.size());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "emask-run: %s\n", e.what());
+    return 2;
+  }
+  return 0;
+}
