@@ -1,0 +1,97 @@
+// Extension P: parallel batch trace capture — serial loop vs the
+// core::BatchRunner thread-pool engine.
+//
+// Every attack experiment consumes thousands of independent encryption
+// traces; this bench measures how fast the capture engine acquires them
+// and *proves* the engine's determinism contract on the spot: the
+// multi-threaded TraceSet must be bit-identical (inputs, sample values,
+// ordering) to the 1-thread capture, which in turn must match a plain
+// serial run_des loop.  Exit status reflects the bit-identity check, not
+// the speedup — wall-clock gains depend on the host's core count (a
+// 4-core machine typically shows >= 3x).
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "bench_common.hpp"
+#include "core/batch_runner.hpp"
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+
+using namespace emask;
+
+namespace {
+
+constexpr std::size_t kTraces = 24;
+constexpr std::uint64_t kWindowEnd = 6000;  // round-1 window prefix
+constexpr std::uint64_t kSeed = 0xBA7C4;
+
+bool identical(const analysis::TraceSet& a, const analysis::TraceSet& b) {
+  if (a.size() != b.size() || a.inputs != b.inputs) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a.traces[i].samples() != b.traces[i].samples()) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner("Extension P",
+                      "Batch trace capture: serial loop vs BatchRunner "
+                      "thread pool (bit-identity + throughput).");
+  const auto device = core::MaskingPipeline::des(compiler::Policy::kOriginal);
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  std::printf("host reports %u hardware thread(s); batch = %zu traces x %llu "
+              "cycles\n\n",
+              hw, kTraces, static_cast<unsigned long long>(kWindowEnd));
+
+  // Reference: the plain serial loop every bench used before BatchRunner.
+  analysis::TraceSet reference;
+  util::Rng rng(kSeed);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < kTraces; ++i) {
+    const std::uint64_t pt = rng.next_u64();
+    reference.add(pt, device.run_des(bench::kKey, pt, kWindowEnd).trace);
+  }
+  const double serial_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  const double serial_eps = static_cast<double>(kTraces) / serial_s;
+  std::printf("%8s %12s %12s %10s %9s\n", "threads", "wall s", "enc/s",
+              "speedup", "bitwise?");
+  std::printf("%8s %12.3f %12.1f %10s %9s\n", "loop", serial_s, serial_eps,
+              "1.00x", "ref");
+
+  util::CsvWriter csv(bench::out_dir() + "/ext_batch_capture.csv");
+  csv.write_header({"threads", "wall_s", "enc_per_s", "speedup", "bitwise"});
+  csv.write_row({0.0, serial_s, serial_eps, 1.0, 1.0});
+
+  bool all_identical = true;
+  double best_speedup = 1.0;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{4}, std::size_t{hw}}) {
+    core::BatchConfig bc;
+    bc.threads = threads;
+    bc.stop_after_cycles = kWindowEnd;
+    core::BatchRunner runner(device, bc);
+    const analysis::TraceSet set =
+        runner.capture(kTraces, core::random_plaintexts(bench::kKey, kSeed));
+    const core::BatchStats& stats = runner.stats();
+    const bool same = identical(set, reference);
+    all_identical &= same;
+    const double speedup = serial_s / stats.wall_seconds;
+    best_speedup = std::max(best_speedup, speedup);
+    std::printf("%8zu %12.3f %12.1f %9.2fx %9s\n", threads,
+                stats.wall_seconds, stats.encryptions_per_sec(), speedup,
+                same ? "YES" : "NO");
+    csv.write_row({static_cast<double>(threads), stats.wall_seconds,
+                   stats.encryptions_per_sec(), speedup, same ? 1.0 : 0.0});
+  }
+
+  std::printf("\nbest speedup over serial loop : %.2fx (%u cores visible)\n",
+              best_speedup, hw);
+  std::printf("all thread counts bit-identical: %s\n",
+              all_identical ? "YES" : "NO");
+  return all_identical ? 0 : 1;
+}

@@ -6,8 +6,8 @@
 // selectively masked device yields zero signal at the full budget.
 #include "analysis/dpa.hpp"
 #include "bench_common.hpp"
+#include "core/batch_runner.hpp"
 #include "util/csv.hpp"
-#include "util/rng.hpp"
 
 using namespace emask;
 
@@ -32,17 +32,27 @@ std::vector<Checkpoint> attack(const core::MaskingPipeline& pipeline,
   cfg.window_begin = kWindowBegin;
   cfg.window_end = kWindowEnd;
   analysis::DpaAttack atk(cfg);
-  util::Rng rng(0xD9A);
   std::vector<Checkpoint> out;
-  std::size_t done = 0;
-  for (const std::size_t budget : budgets) {
-    for (; done < budget; ++done) {
-      const std::uint64_t pt = rng.next_u64();
-      atk.add_trace(pt, pipeline.run_des(key, pt, kWindowEnd).trace);
-    }
-    const analysis::DpaResult r = atk.solve();
-    out.push_back({budget, r.best_guess, r.best_peak, r.margin()});
-  }
+  // Parallel acquisition, serial analysis: BatchRunner streams the traces
+  // in index order (plaintext i = Rng::nth(0xD9A, i), the same stream the
+  // old serial loop drew), so the checkpoints are bit-identical to serial
+  // capture at any thread count.
+  core::BatchConfig bc;
+  bc.stop_after_cycles = kWindowEnd;
+  core::BatchRunner runner(pipeline, bc);
+  std::size_t checkpoint = 0;
+  runner.capture_each(
+      budgets.back(), core::random_plaintexts(key, 0xD9A),
+      [&](std::size_t i, const core::BatchInput& input,
+          core::EncryptionRun& run) {
+        atk.add_trace(input.plaintext, run.trace);
+        while (checkpoint < budgets.size() && i + 1 == budgets[checkpoint]) {
+          const analysis::DpaResult r = atk.solve();
+          out.push_back({budgets[checkpoint], r.best_guess, r.best_peak,
+                         r.margin()});
+          ++checkpoint;
+        }
+      });
   return out;
 }
 

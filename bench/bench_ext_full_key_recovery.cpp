@@ -7,9 +7,9 @@
 #include "analysis/key_recovery.hpp"
 #include "analysis/generic_cpa.hpp"
 #include "bench_common.hpp"
+#include "core/batch_runner.hpp"
 #include "des/des.hpp"
 #include "util/csv.hpp"
-#include "util/rng.hpp"
 
 using namespace emask;
 
@@ -47,22 +47,29 @@ int main() {
                                                        /*signed=*/true);
     }
   }
-  util::Rng rng(0x481);
+  // Parallel acquisition (BatchRunner emits in index order, so the CPA
+  // engines see the exact trace stream the old serial loop produced —
+  // plaintext i = Rng::nth(0x481, i)); analysis stays on this thread.
   std::vector<int> hyp(64);
-  for (int i = 0; i < kTraces; ++i) {
-    const std::uint64_t pt = rng.next_u64();
-    const auto trace = device.run_des(key, pt, round1.end).trace;
-    for (int s = 0; s < 8; ++s) {
-      for (int bit = 0; bit < 4; ++bit) {
-        for (int g = 0; g < 64; ++g) {
-          hyp[static_cast<std::size_t>(g)] =
-              analysis::DpaAttack::predict_bit(pt, s, bit, g);
+  core::BatchConfig bc;
+  bc.stop_after_cycles = round1.end;
+  core::BatchRunner runner(device, bc);
+  runner.capture_each(
+      kTraces, core::random_plaintexts(key, 0x481),
+      [&](std::size_t, const core::BatchInput& input,
+          core::EncryptionRun& run) {
+        const std::uint64_t pt = input.plaintext;
+        for (int s = 0; s < 8; ++s) {
+          for (int bit = 0; bit < 4; ++bit) {
+            for (int g = 0; g < 64; ++g) {
+              hyp[static_cast<std::size_t>(g)] =
+                  analysis::DpaAttack::predict_bit(pt, s, bit, g);
+            }
+            engines[static_cast<std::size_t>(s)][static_cast<std::size_t>(bit)]
+                .add_trace(hyp, run.trace);
+          }
         }
-        engines[static_cast<std::size_t>(s)][static_cast<std::size_t>(bit)]
-            .add_trace(hyp, trace);
-      }
-    }
-  }
+      });
 
   util::CsvWriter csv(bench::out_dir() + "/ext_full_key_recovery.csv");
   csv.write_header({"sbox", "true_chunk", "recovered_chunk", "corr",

@@ -8,8 +8,8 @@
 #include "analysis/cpa.hpp"
 #include "analysis/dpa.hpp"
 #include "bench_common.hpp"
+#include "core/batch_runner.hpp"
 #include "util/csv.hpp"
-#include "util/rng.hpp"
 
 using namespace emask;
 
@@ -31,21 +31,33 @@ std::size_t traces_to_disclosure(const core::MaskingPipeline& device,
   cfg.window_begin = kWinBegin;
   cfg.window_end = kWinEnd;
   analysis::CpaAttack attack(cfg);
-  analysis::NoiseModel noise(sigma_pj, 0xA0153 + static_cast<std::uint64_t>(
-                                                     sigma_pj * 1000));
-  util::Rng rng(0x5EED);
-  std::size_t done = 0;
+  // Parallel acquisition with the noise applied inside the capture engine.
+  // BatchRunner seeds the noise per trace *index* (not from one RNG whose
+  // state threads through the batch), so noisy captures are deterministic
+  // at any thread count; the plaintext stream is the serial Rng(0x5EED)
+  // stream via Rng::nth.
+  core::BatchConfig bc;
+  bc.stop_after_cycles = kWinEnd;
+  bc.noise_sigma_pj = sigma_pj;
+  bc.noise_seed =
+      0xA0153 + static_cast<std::uint64_t>(sigma_pj * 1000);
+  core::BatchRunner runner(device, bc);
   std::size_t first_stable = 0;
-  for (const std::size_t budget : checkpoints) {
-    for (; done < budget; ++done) {
-      const std::uint64_t pt = rng.next_u64();
-      attack.add_trace(pt,
-                       noise.apply(device.run_des(key, pt, kWinEnd).trace));
-    }
-    const bool correct = attack.solve().best_guess == truth;
-    if (correct && first_stable == 0) first_stable = budget;
-    if (!correct) first_stable = 0;  // lost it again: not stable yet
-  }
+  std::size_t checkpoint = 0;
+  runner.capture_each(
+      checkpoints.back(), core::random_plaintexts(key, 0x5EED),
+      [&](std::size_t i, const core::BatchInput& input,
+          core::EncryptionRun& run) {
+        attack.add_trace(input.plaintext, run.trace);
+        while (checkpoint < checkpoints.size() &&
+               i + 1 == checkpoints[checkpoint]) {
+          const std::size_t budget = checkpoints[checkpoint];
+          const bool correct = attack.solve().best_guess == truth;
+          if (correct && first_stable == 0) first_stable = budget;
+          if (!correct) first_stable = 0;  // lost it again: not stable yet
+          ++checkpoint;
+        }
+      });
   return first_stable;
 }
 

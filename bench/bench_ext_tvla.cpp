@@ -10,8 +10,8 @@
 #include "analysis/tvla.hpp"
 #include "bench_common.hpp"
 #include "compiler/masking.hpp"
+#include "core/batch_runner.hpp"
 #include "util/csv.hpp"
-#include "util/rng.hpp"
 
 using namespace emask;
 
@@ -42,17 +42,22 @@ int main() {
     const auto pipeline = core::MaskingPipeline::des(policies[p]);
     analysis::TvlaAssessment tvla_round(round1.begin, round1.end);
     analysis::TvlaAssessment tvla_prefix(0, round1.begin);
-    util::Rng rng(0x71A);
-    for (int i = 0; i < kPairs; ++i) {
-      const auto fixed =
-          pipeline.run_des(bench::kKey, bench::kPlain, stop).trace;
-      const auto random =
-          pipeline.run_des(bench::kKey, rng.next_u64(), stop).trace;
-      tvla_round.add_fixed(fixed);
-      tvla_round.add_random(random);
-      tvla_prefix.add_fixed(fixed);
-      tvla_prefix.add_random(random);
-    }
+    // The fixed-class trace is one deterministic simulation — capture it
+    // once instead of re-running it per pair; the random class is a
+    // BatchRunner batch (random plaintext i = Rng::nth(0x71A, i), the same
+    // stream the old per-pair serial loop drew).
+    core::BatchConfig bc;
+    bc.stop_after_cycles = stop;
+    core::BatchRunner runner(pipeline, bc);
+    const auto fixed = pipeline.run_des(bench::kKey, bench::kPlain, stop).trace;
+    runner.capture_each(
+        kPairs, core::random_plaintexts(bench::kKey, 0x71A),
+        [&](std::size_t, const core::BatchInput&, core::EncryptionRun& run) {
+          tvla_round.add_fixed(fixed);
+          tvla_round.add_random(run.trace);
+          tvla_prefix.add_fixed(fixed);
+          tvla_prefix.add_random(run.trace);
+        });
     const analysis::TvlaResult r = tvla_round.solve();
     const analysis::TvlaResult pre = tvla_prefix.solve();
     std::printf("%-16s | %10.2f %12zu | %10.2f %12zu\n",

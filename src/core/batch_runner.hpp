@@ -1,0 +1,135 @@
+// Parallel batch trace-capture engine.
+//
+// Every attack experiment (DPA key recovery, TVLA, noise sweeps) consumes
+// thousands of independent encryption traces.  Each encryption is a pure
+// function of its (key, plaintext) input — the compiled program, simulator
+// and energy model carry no state across runs — so capture is
+// embarrassingly parallel.  BatchRunner fans a batch out across a
+// std::thread worker pool (one MaskingPipeline / energy-model instance per
+// worker), then re-serializes completions so consumers observe traces in
+// input order.
+//
+// Determinism contract
+// --------------------
+// The captured TraceSet is **bit-identical to a serial capture regardless
+// of thread count**.  Three mechanisms guarantee this:
+//
+//   1. every per-encryption input is derived from the batch *index* alone
+//      (explicit input list, or a deterministic per-index generator —
+//      util::Rng::nth gives O(1) random access into a SplitMix64 stream);
+//   2. each worker writes its result into the slot reserved for that index;
+//      the emission loop hands results to the consumer strictly in index
+//      order;
+//   3. batch statistics (cycle totals, energy aggregates, per-component
+//      breakdown) are accumulated on the emission side, in serial order, so
+//      even floating-point sums are schedule-independent.
+//
+// Large batches stream: a bounded reorder window (a few traces per worker)
+// caps resident memory, and capture_to_file() pipes straight into
+// analysis::TraceSetWriter so a million-trace acquisition never holds more
+// than the window in RAM.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "analysis/trace_io.hpp"
+#include "core/masking_pipeline.hpp"
+#include "energy/components.hpp"
+
+namespace emask::core {
+
+/// One encryption job.
+struct BatchInput {
+  std::uint64_t key = 0;
+  std::uint64_t plaintext = 0;
+};
+
+/// Produces the input for batch index `i`.  Must be a pure function of the
+/// index (and thread-safe): the determinism contract hangs on it.
+using InputGenerator = std::function<BatchInput(std::size_t)>;
+
+struct BatchConfig {
+  /// Worker threads; 0 = std::thread::hardware_concurrency().
+  std::size_t threads = 0;
+  /// Truncate each encryption after this many cycles (0 = run to halt) —
+  /// an attacker windowing round 1 does not pay for the other fifteen.
+  std::uint64_t stop_after_cycles = 0;
+  /// Additive Gaussian measurement noise, pJ rms (0 = noise-free).  Seeded
+  /// per *index* so noisy batches stay schedule-independent.
+  double noise_sigma_pj = 0.0;
+  std::uint64_t noise_seed = 0xC0FFEE;
+  /// Reorder-window slots per worker (bounds resident traces during
+  /// streaming capture).
+  std::size_t window_per_thread = 4;
+};
+
+/// Batch observability: what the capture cost, aggregated in serial order.
+struct BatchStats {
+  std::uint64_t encryptions = 0;
+  std::uint64_t total_cycles = 0;       // simulated cycles across the batch
+  std::uint64_t total_instructions = 0; // retired
+  double total_energy_uj = 0.0;
+  energy::Breakdown breakdown;          // per-component energy, joules
+  double wall_seconds = 0.0;
+  std::size_t threads_used = 0;
+
+  [[nodiscard]] double encryptions_per_sec() const {
+    return wall_seconds > 0.0 ? static_cast<double>(encryptions) / wall_seconds
+                              : 0.0;
+  }
+  [[nodiscard]] double cycles_per_sec() const {
+    return wall_seconds > 0.0
+               ? static_cast<double>(total_cycles) / wall_seconds
+               : 0.0;
+  }
+};
+
+class BatchRunner {
+ public:
+  explicit BatchRunner(const MaskingPipeline& pipeline,
+                       BatchConfig config = {});
+
+  /// Captures one trace per input, in order.
+  [[nodiscard]] analysis::TraceSet capture(
+      const std::vector<BatchInput>& inputs);
+
+  /// Captures `count` traces with per-index generated inputs.
+  [[nodiscard]] analysis::TraceSet capture(std::size_t count,
+                                           const InputGenerator& generator);
+
+  /// Streams the batch through `sink(index, input, run)` in strict index
+  /// order with bounded memory — the workhorse behind the other overloads.
+  /// The sink runs on the calling thread.
+  void capture_each(
+      std::size_t count, const InputGenerator& generator,
+      const std::function<void(std::size_t, const BatchInput&,
+                               EncryptionRun&)>& sink);
+
+  /// Streams the batch straight into an EMTS file (input = plaintext),
+  /// never holding more than the reorder window in memory.
+  BatchStats capture_to_file(const std::string& path, std::size_t count,
+                             const InputGenerator& generator);
+
+  /// Statistics of the most recent capture.
+  [[nodiscard]] const BatchStats& stats() const { return stats_; }
+
+  /// Threads the next capture will actually use for `count` jobs.
+  [[nodiscard]] std::size_t effective_threads(std::size_t count) const;
+
+ private:
+  const MaskingPipeline& pipeline_;
+  BatchConfig config_;
+  BatchStats stats_;
+};
+
+/// Convenience: the uniform-random (key fixed, plaintext = stream of
+/// util::Rng(seed)) generator every attack bench uses.  Index i yields
+/// plaintext util::Rng::nth(seed, i), reproducing the serial
+/// `rng.next_u64()` acquisition loop bit-exactly.
+[[nodiscard]] InputGenerator random_plaintexts(std::uint64_t key,
+                                               std::uint64_t seed);
+
+}  // namespace emask::core

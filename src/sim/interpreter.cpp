@@ -113,9 +113,18 @@ bool Interpreter::step() {
 }
 
 void Interpreter::run(std::uint64_t max_instructions) {
+  // Budget boundary semantics (mirrored by sim::Pipeline's cycle budget):
+  // the budget caps the *work before the machine commits to halting*.  A
+  // program whose next instruction is the terminating halt completes even
+  // when the budget is already spent — only a machine that is still doing
+  // productive work past `max_instructions` is a runaway.
   while (step()) {
-    if (executed_ >= max_instructions) {
-      throw std::runtime_error("Interpreter: instruction budget exceeded");
+    const bool next_is_halt = pc_ < program_.text.size() &&
+                              program_.text[pc_].op == isa::Opcode::kHalt;
+    if (executed_ >= max_instructions && !next_is_halt) {
+      throw std::runtime_error(
+          "Interpreter: instruction budget exceeded (" +
+          std::to_string(max_instructions) + " executed without halting)");
     }
   }
 }

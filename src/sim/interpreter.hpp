@@ -22,6 +22,11 @@ class Interpreter {
 
   /// Runs to halt.  Throws on runaway (instruction budget exceeded),
   /// invalid memory access, or pc leaving the text section.
+  ///
+  /// Budget boundary: a program that halts after executing exactly
+  /// `max_instructions` succeeds — the budget-exceeded error fires only
+  /// when the machine has spent its budget and is *not* about to halt
+  /// (same drain-grace semantics as sim::Pipeline's cycle budget).
   void run(std::uint64_t max_instructions = 50'000'000);
 
   /// Executes a single instruction; returns false once halted.

@@ -1,10 +1,20 @@
 #include "sim/memory.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <stdexcept>
 #include <string>
 
 namespace emask::sim {
+namespace {
+
+std::string hex(std::uint32_t address) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "0x%08X", address);
+  return buf;
+}
+
+}  // namespace
 
 DataMemory::DataMemory(const assembler::Program& program,
                        std::size_t size_bytes)
@@ -17,12 +27,14 @@ DataMemory::DataMemory(const assembler::Program& program,
 
 void DataMemory::check(std::uint32_t address) const {
   if (address % 4 != 0) {
-    throw std::runtime_error("DataMemory: unaligned word access at 0x" +
-                             std::to_string(address));
+    throw std::runtime_error("DataMemory: unaligned 4-byte word access at " +
+                             hex(address));
   }
   if (address < base() || address - base() + 4 > bytes_.size()) {
-    throw std::runtime_error("DataMemory: access outside memory at 0x" +
-                             std::to_string(address));
+    throw std::runtime_error(
+        "DataMemory: 4-byte access outside memory at " + hex(address) +
+        " (valid range [" + hex(base()) + ", " +
+        hex(base() + static_cast<std::uint32_t>(bytes_.size())) + "))");
   }
 }
 

@@ -74,11 +74,18 @@ class Pipeline {
 
   /// Runs to halt (or the cycle limit, which throws).  Invokes
   /// `on_cycle(activity)` after every clock if provided.
+  ///
+  /// Budget boundary (mirrors Interpreter::run): a program that halts in
+  /// exactly `max_cycles` cycles succeeds, and once the halt instruction
+  /// has been fetched on the correct path the pipeline is allowed to drain
+  /// (a bounded handful of cycles) even if that crosses the limit — the
+  /// budget error means "still doing productive work past the limit", not
+  /// "finished a cycle too late".
   template <typename OnCycle>
   SimResult run(OnCycle&& on_cycle) {
     energy::CycleActivity activity;
     while (!halted_) {
-      if (cycles_ >= config_.max_cycles) {
+      if (cycles_ >= config_.max_cycles && !halt_seen_) {
         throw std::runtime_error("Pipeline: cycle limit exceeded");
       }
       step(activity);

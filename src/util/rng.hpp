@@ -25,6 +25,19 @@ class Rng {
     return z ^ (z >> 31);
   }
 
+  /// The n-th value (0-based) of the stream Rng(seed) produces, computed in
+  /// O(1) without stepping through the first n draws.  SplitMix64's state
+  /// advances by a fixed increment, so random access is a seed offset:
+  ///
+  ///   Rng::nth(seed, n) == the (n+1)-th call to Rng(seed).next_u64()
+  ///
+  /// This is what lets parallel trace capture hand worker threads
+  /// independent indices while reproducing a serial plaintext stream
+  /// bit-exactly (see core::BatchRunner).
+  [[nodiscard]] static std::uint64_t nth(std::uint64_t seed, std::uint64_t n) {
+    return Rng(seed + n * 0x9E3779B97F4A7C15ull).next_u64();
+  }
+
   /// Next 32 uniformly distributed bits.
   std::uint32_t next_u32() { return static_cast<std::uint32_t>(next_u64() >> 32); }
 

@@ -1,0 +1,197 @@
+// Parallel batch trace-capture engine: determinism contract, streaming,
+// stats, and error propagation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <stdexcept>
+
+#include "analysis/trace_io.hpp"
+#include "core/batch_runner.hpp"
+#include "util/rng.hpp"
+
+namespace emask::core {
+namespace {
+
+constexpr std::uint64_t kKey = 0x133457799BBCDFF1ull;
+constexpr std::uint64_t kSeed = 0xBA7C4;
+constexpr std::size_t kTraces = 8;
+constexpr std::uint64_t kStop = 1500;  // short prefix keeps the test quick
+
+const MaskingPipeline& device() {
+  static const MaskingPipeline p =
+      MaskingPipeline::des(compiler::Policy::kOriginal);
+  return p;
+}
+
+BatchConfig config(std::size_t threads) {
+  BatchConfig bc;
+  bc.threads = threads;
+  bc.stop_after_cycles = kStop;
+  return bc;
+}
+
+void expect_identical(const analysis::TraceSet& a,
+                      const analysis::TraceSet& b) {
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.inputs, b.inputs);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    // Bitwise: vector<double> operator== compares every sample exactly.
+    EXPECT_EQ(a.traces[i].samples(), b.traces[i].samples()) << "trace " << i;
+  }
+}
+
+// The headline contract: N threads produce the same TraceSet as 1 thread,
+// bit for bit — inputs, sample values, and ordering.
+TEST(BatchRunner, ThreadCountDoesNotChangeTheTraceSet) {
+  const InputGenerator gen = random_plaintexts(kKey, kSeed);
+  BatchRunner serial(device(), config(1));
+  const analysis::TraceSet one = serial.capture(kTraces, gen);
+  for (const std::size_t threads : {2u, 4u, 7u}) {
+    BatchRunner parallel(device(), config(threads));
+    const analysis::TraceSet many = parallel.capture(kTraces, gen);
+    expect_identical(one, many);
+  }
+}
+
+// ... and noisy capture stays deterministic too (noise is seeded per index,
+// not from a stream threaded through the batch).
+TEST(BatchRunner, NoisyCaptureIsThreadCountInvariant) {
+  BatchConfig noisy = config(1);
+  noisy.noise_sigma_pj = 1.0;
+  noisy.noise_seed = 0x5EED;
+  BatchRunner serial(device(), noisy);
+  const analysis::TraceSet one =
+      serial.capture(kTraces, random_plaintexts(kKey, kSeed));
+  noisy.threads = 4;
+  BatchRunner parallel(device(), noisy);
+  const analysis::TraceSet many =
+      parallel.capture(kTraces, random_plaintexts(kKey, kSeed));
+  expect_identical(one, many);
+}
+
+// The generator stream matches the serial rng.next_u64() acquisition loops
+// the benches used before BatchRunner existed.
+TEST(BatchRunner, RandomPlaintextsReproduceTheSerialRngStream) {
+  util::Rng rng(kSeed);
+  const InputGenerator gen = random_plaintexts(kKey, kSeed);
+  for (std::size_t i = 0; i < 32; ++i) {
+    const BatchInput input = gen(i);
+    EXPECT_EQ(input.key, kKey);
+    EXPECT_EQ(input.plaintext, rng.next_u64()) << "index " << i;
+  }
+}
+
+TEST(BatchRunner, MatchesDirectRunDes) {
+  BatchRunner runner(device(), config(4));
+  const analysis::TraceSet set =
+      runner.capture(kTraces, random_plaintexts(kKey, kSeed));
+  // Spot-check first and last against the single-encryption API.
+  for (const std::size_t i : {std::size_t{0}, kTraces - 1}) {
+    const EncryptionRun run =
+        device().run_des(kKey, set.inputs[i], kStop);
+    EXPECT_EQ(set.traces[i].samples(), run.trace.samples());
+  }
+}
+
+TEST(BatchRunner, ExplicitInputListKeepsOrder) {
+  std::vector<BatchInput> inputs;
+  for (std::uint64_t i = 0; i < 5; ++i) inputs.push_back({kKey, 100 + i});
+  BatchRunner runner(device(), config(3));
+  const analysis::TraceSet set = runner.capture(inputs);
+  ASSERT_EQ(set.size(), inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    EXPECT_EQ(set.inputs[i], inputs[i].plaintext);
+  }
+}
+
+TEST(BatchRunner, CaptureEachEmitsInStrictIndexOrder) {
+  BatchRunner runner(device(), config(4));
+  std::size_t expected = 0;
+  runner.capture_each(kTraces, random_plaintexts(kKey, kSeed),
+                      [&](std::size_t i, const BatchInput&, EncryptionRun&) {
+                        EXPECT_EQ(i, expected);
+                        ++expected;
+                      });
+  EXPECT_EQ(expected, kTraces);
+}
+
+TEST(BatchRunner, StatsAggregateInSerialOrder) {
+  BatchRunner serial(device(), config(1));
+  (void)serial.capture(kTraces, random_plaintexts(kKey, kSeed));
+  BatchRunner parallel(device(), config(4));
+  (void)parallel.capture(kTraces, random_plaintexts(kKey, kSeed));
+  const BatchStats& a = serial.stats();
+  const BatchStats& b = parallel.stats();
+  EXPECT_EQ(a.encryptions, kTraces);
+  EXPECT_EQ(b.encryptions, kTraces);
+  EXPECT_EQ(a.total_cycles, b.total_cycles);
+  EXPECT_EQ(a.total_instructions, b.total_instructions);
+  // Serial-order accumulation: even the floating-point sums agree exactly.
+  EXPECT_EQ(a.total_energy_uj, b.total_energy_uj);
+  EXPECT_EQ(a.breakdown.total(), b.breakdown.total());
+  EXPECT_EQ(a.total_cycles, kTraces * kStop);
+  EXPECT_GT(a.total_energy_uj, 0.0);
+}
+
+TEST(BatchRunner, StreamsToFileIdenticalToInMemoryCapture) {
+  const std::string path = ::testing::TempDir() + "/batch.emts";
+  BatchRunner runner(device(), config(4));
+  const BatchStats file_stats = runner.capture_to_file(
+      path, kTraces, random_plaintexts(kKey, kSeed));
+  EXPECT_EQ(file_stats.encryptions, kTraces);
+  const analysis::TraceSet from_file = analysis::load_trace_set(path);
+  BatchRunner again(device(), config(1));
+  const analysis::TraceSet in_memory =
+      again.capture(kTraces, random_plaintexts(kKey, kSeed));
+  ASSERT_EQ(from_file.size(), in_memory.size());
+  EXPECT_EQ(from_file.inputs, in_memory.inputs);
+  for (std::size_t i = 0; i < from_file.size(); ++i) {
+    for (std::size_t j = 0; j < from_file.traces[i].size(); ++j) {
+      // EMTS stores float32; compare at that precision.
+      EXPECT_EQ(from_file.traces[i][j],
+                static_cast<double>(static_cast<float>(in_memory.traces[i][j])));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(BatchRunner, EmptyBatchIsANoOp) {
+  BatchRunner runner(device(), config(4));
+  const analysis::TraceSet set =
+      runner.capture(0, random_plaintexts(kKey, kSeed));
+  EXPECT_EQ(set.size(), 0u);
+  EXPECT_EQ(runner.stats().encryptions, 0u);
+}
+
+TEST(BatchRunner, WorkerExceptionPropagatesToCaller) {
+  BatchRunner runner(device(), config(4));
+  // Plaintext is irrelevant: a generator that throws models a failing
+  // acquisition source.
+  const InputGenerator poisoned = [](std::size_t i) -> BatchInput {
+    if (i == 5) throw std::runtime_error("acquisition failed");
+    return {kKey, i};
+  };
+  EXPECT_THROW((void)runner.capture(kTraces, poisoned), std::runtime_error);
+}
+
+TEST(BatchRunner, SinkExceptionStopsTheBatch) {
+  BatchRunner runner(device(), config(4));
+  EXPECT_THROW(
+      runner.capture_each(kTraces, random_plaintexts(kKey, kSeed),
+                          [](std::size_t i, const BatchInput&,
+                             EncryptionRun&) {
+                            if (i == 2) throw std::runtime_error("sink full");
+                          }),
+      std::runtime_error);
+}
+
+TEST(BatchRunner, EffectiveThreadsClampsToBatchSize) {
+  BatchRunner runner(device(), config(8));
+  EXPECT_EQ(runner.effective_threads(3), 3u);
+  EXPECT_EQ(runner.effective_threads(100), 8u);
+  EXPECT_GE(runner.effective_threads(1), 1u);
+}
+
+}  // namespace
+}  // namespace emask::core

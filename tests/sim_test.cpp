@@ -310,6 +310,56 @@ TEST(Interpreter, BudgetExceededThrows) {
   EXPECT_THROW(interp.run(/*max_instructions=*/100), std::runtime_error);
 }
 
+TEST(Interpreter, ProgramCompletingOnTheBudgetBoundarySucceeds) {
+  // Three productive instructions + halt.  A budget of exactly 3 must not
+  // throw: the budget caps productive work, and the machine's very next
+  // instruction is the terminating halt.
+  assembler::Program prog =
+      assembler::assemble("main:\n  nop\n  nop\n  nop\n  halt\n");
+  {
+    Interpreter interp(prog);
+    interp.run(/*max_instructions=*/3);
+    EXPECT_TRUE(interp.halted());
+    EXPECT_EQ(interp.instructions(), 4u);  // halt itself still retires
+  }
+  {
+    // One short of the boundary: a genuine budget violation.
+    Interpreter interp(prog);
+    EXPECT_THROW(interp.run(/*max_instructions=*/2), std::runtime_error);
+  }
+}
+
+TEST(Pipeline, ProgramCompletingOnTheCycleBudgetBoundarySucceeds) {
+  assembler::Program prog =
+      assembler::assemble("main:\n  nop\n  nop\n  nop\n  halt\n");
+  const std::uint64_t total = [&] {
+    Pipeline p(prog);
+    return p.run().cycles;
+  }();
+  {
+    // Exactly enough cycles: must succeed.
+    SimConfig cfg;
+    cfg.max_cycles = total;
+    Pipeline p(prog, cfg);
+    EXPECT_EQ(p.run().cycles, total);
+  }
+  {
+    // The halt is already in flight when the limit hits: the pipeline is
+    // allowed to drain (same grace the interpreter gives a pending halt).
+    SimConfig cfg;
+    cfg.max_cycles = total - 1;
+    Pipeline p(prog, cfg);
+    EXPECT_EQ(p.run().cycles, total);
+  }
+  {
+    // Far below: a genuine runaway.
+    SimConfig cfg;
+    cfg.max_cycles = 2;
+    Pipeline p(prog, cfg);
+    EXPECT_THROW(p.run(), std::runtime_error);
+  }
+}
+
 TEST(Interpreter, PcOffEndThrows) {
   assembler::Program prog = assembler::assemble("main:\n  nop\n  nop\n");
   Interpreter interp(prog);

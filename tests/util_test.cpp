@@ -61,6 +61,18 @@ TEST(Rng, DifferentSeedsDiffer) {
   EXPECT_NE(a.next_u64(), b.next_u64());
 }
 
+TEST(Rng, NthGivesRandomAccessIntoTheStream) {
+  // Rng::nth(seed, n) must equal the (n+1)-th sequential draw — this is
+  // what lets parallel trace capture reproduce a serial plaintext stream.
+  for (const std::uint64_t seed : {0ull, 42ull, 0xD9Aull, ~0ull}) {
+    Rng sequential(seed);
+    for (std::uint64_t n = 0; n < 50; ++n) {
+      EXPECT_EQ(Rng::nth(seed, n), sequential.next_u64())
+          << "seed " << seed << " n " << n;
+    }
+  }
+}
+
 TEST(Rng, DoubleInUnitInterval) {
   Rng rng(7);
   for (int i = 0; i < 1000; ++i) {

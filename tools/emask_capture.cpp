@@ -8,8 +8,8 @@
 #include <string>
 
 #include "analysis/trace_io.hpp"
+#include "core/batch_runner.hpp"
 #include "core/masking_pipeline.hpp"
-#include "util/rng.hpp"
 
 using namespace emask;
 
@@ -74,18 +74,40 @@ int main(int argc, char** argv) {
                                                                 1e-15)
             : energy::TechParams::smartcard_025um();
     const auto device = core::MaskingPipeline::des(policy, params);
-    analysis::NoiseModel noise(noise_pj, 0xC0FFEE);
-    util::Rng rng(0xA77AC4);  // same plaintext stream emask-attack uses
-    analysis::TraceSet set;
-    for (int i = 0; i < traces; ++i) {
-      const std::uint64_t pt = rng.next_u64();
-      analysis::Trace t = device.run_des(key, pt, window_end).trace;
-      set.add(pt, noise_pj > 0.0 ? noise.apply(t) : std::move(t));
-      if ((i + 1) % 100 == 0) std::printf("  %d/%d traces\n", i + 1, traces);
-    }
-    analysis::save_trace_set(out_path, set);
-    std::printf("wrote %zu traces x %zu cycles to %s\n", set.size(),
-                set.traces.front().size(), out_path.c_str());
+    // Parallel capture streamed straight to disk: the plaintext for trace i
+    // is Rng::nth(0xA77AC4, i) — the same stream emask-attack replays —
+    // and measurement noise is seeded per trace index, so the file is
+    // identical no matter how many worker threads acquired it.
+    core::BatchConfig bc;
+    bc.stop_after_cycles = window_end;
+    bc.noise_sigma_pj = noise_pj;
+    bc.noise_seed = 0xC0FFEE;
+    core::BatchRunner runner(device, bc);
+    const auto n = static_cast<std::size_t>(traces);
+    analysis::TraceSetWriter writer(out_path, n);
+    runner.capture_each(
+        n, core::random_plaintexts(key, 0xA77AC4),
+        [&](std::size_t i, const core::BatchInput& input,
+            core::EncryptionRun& run) {
+          writer.append(input.plaintext, run.trace);
+          if ((i + 1) % 100 == 0) {
+            std::printf("  %zu/%d traces\n", i + 1, traces);
+          }
+        });
+    writer.close();
+    const core::BatchStats& stats = runner.stats();
+    std::printf(
+        "wrote %llu traces x %llu cycles to %s\n"
+        "  %zu threads, %.2f s wall, %.1f enc/s, %.0f kcycle/s, %.3f uJ "
+        "total\n",
+        static_cast<unsigned long long>(stats.encryptions),
+        static_cast<unsigned long long>(stats.encryptions
+                                            ? stats.total_cycles /
+                                                  stats.encryptions
+                                            : 0),
+        out_path.c_str(), stats.threads_used, stats.wall_seconds,
+        stats.encryptions_per_sec(), stats.cycles_per_sec() / 1e3,
+        stats.total_energy_uj);
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "emask-capture: %s\n", e.what());
