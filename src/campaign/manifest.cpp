@@ -1,0 +1,333 @@
+#include "campaign/manifest.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "util/argparse.hpp"
+#include "util/ini.hpp"
+#include "util/json.hpp"
+
+namespace emask::campaign {
+namespace {
+
+using util::ArgParser;
+using util::IniFile;
+using util::JsonWriter;
+
+std::string hex_u64(std::uint64_t v) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "0x%016llX",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+std::vector<PolicyRollup> rollup_by_policy(
+    const CampaignSpec& spec, const std::vector<ScenarioOutcome>& outcomes) {
+  bool any_energy = false;
+  for (const ScenarioOutcome& o : outcomes) {
+    if (o.scenario.analysis == Analysis::kEnergy) any_energy = true;
+  }
+  std::vector<PolicyRollup> rollups;
+  for (const compiler::Policy policy : spec.policies) {
+    PolicyRollup r;
+    r.policy = policy;
+    double sum = 0.0;
+    for (const ScenarioOutcome& o : outcomes) {
+      if (o.scenario.policy != policy) continue;
+      if (any_energy && o.scenario.analysis != Analysis::kEnergy) continue;
+      sum += o.result.mean_uj();
+      ++r.scenarios;
+    }
+    if (r.scenarios > 0) sum /= static_cast<double>(r.scenarios);
+    r.mean_uj = sum;
+    rollups.push_back(r);
+  }
+  return rollups;
+}
+
+const double* find_reference(const CampaignSpec& spec,
+                             compiler::Policy policy) {
+  for (const auto& [name, uj] : spec.reference_uj) {
+    if (name == compiler::policy_name(policy)) return &uj;
+  }
+  return nullptr;
+}
+
+void save_checkpoint(const std::string& path, const Scenario& scenario,
+                     const ScenarioResult& result,
+                     const std::string& spec_hash) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp);
+    if (!out) throw std::runtime_error("cannot write checkpoint " + tmp);
+    const auto d = [](double v) { return JsonWriter::format_double(v); };
+    out << "[checkpoint]\n";
+    out << "id = " << scenario.id << '\n';
+    out << "spec_hash = " << spec_hash << '\n';
+    out << "encryptions = " << result.encryptions << '\n';
+    out << "total_cycles = " << result.total_cycles << '\n';
+    out << "total_instructions = " << result.total_instructions << '\n';
+    out << "total_energy_uj = " << d(result.total_energy_uj) << '\n';
+    out << "secured_count = " << result.secured_count << '\n';
+    out << "program_instructions = " << result.program_instructions << '\n';
+    out << "metric = " << d(result.metric) << '\n';
+    out << "best_guess = " << result.best_guess << '\n';
+    out << "true_value = " << result.true_value << '\n';
+    out << "success = " << (result.success ? 1 : 0) << '\n';
+    out << "margin = " << d(result.margin) << '\n';
+    out << "cycles_over_threshold = " << result.cycles_over_threshold << '\n';
+    out << "wall_seconds = " << d(result.wall_seconds) << '\n';
+    out << "threads_used = " << result.threads_used << '\n';
+    out.flush();
+    if (!out) throw std::runtime_error("write failure on " + tmp);
+  }
+  std::filesystem::rename(tmp, path);
+}
+
+bool load_checkpoint(const std::string& path, const Scenario& scenario,
+                     const std::string& spec_hash, ScenarioResult* out) {
+  if (!std::filesystem::exists(path)) return false;
+  const IniFile ini = IniFile::load_file(path);
+  const IniFile::Section* cp = ini.find_section("checkpoint");
+  if (cp == nullptr) {
+    throw std::runtime_error(path + ": not a checkpoint file");
+  }
+  const auto get = [&](const char* key) -> const std::string& {
+    const IniFile::Entry* e = cp->find(key);
+    if (e == nullptr) {
+      throw std::runtime_error(path + ": missing checkpoint key '" +
+                               std::string(key) + "'");
+    }
+    return e->value;
+  };
+  if (get("id") != scenario.id || get("spec_hash") != spec_hash) {
+    return false;  // stale: different spec or renumbered matrix
+  }
+  ScenarioResult r;
+  r.encryptions = ArgParser::parse_u64(get("encryptions"), "encryptions");
+  r.total_cycles = ArgParser::parse_u64(get("total_cycles"), "total_cycles");
+  r.total_instructions =
+      ArgParser::parse_u64(get("total_instructions"), "total_instructions");
+  r.total_energy_uj =
+      ArgParser::parse_double(get("total_energy_uj"), "total_energy_uj");
+  r.secured_count =
+      ArgParser::parse_u64(get("secured_count"), "secured_count");
+  r.program_instructions = ArgParser::parse_u64(get("program_instructions"),
+                                                "program_instructions");
+  r.metric = ArgParser::parse_double(get("metric"), "metric");
+  r.best_guess =
+      static_cast<int>(ArgParser::parse_int(get("best_guess"), "best_guess"));
+  r.true_value =
+      static_cast<int>(ArgParser::parse_int(get("true_value"), "true_value"));
+  r.success = get("success") == "1";
+  r.margin = ArgParser::parse_double(get("margin"), "margin");
+  r.cycles_over_threshold = ArgParser::parse_u64(get("cycles_over_threshold"),
+                                                 "cycles_over_threshold");
+  r.wall_seconds =
+      ArgParser::parse_double(get("wall_seconds"), "wall_seconds");
+  r.threads_used = ArgParser::parse_u64(get("threads_used"), "threads_used");
+  *out = r;
+  return true;
+}
+
+std::string git_describe() {
+#if defined(_WIN32)
+  return "unknown";
+#else
+  FILE* pipe = ::popen("git describe --always --dirty 2>/dev/null", "r");
+  if (pipe == nullptr) return "unknown";
+  char buf[128] = {};
+  std::string out;
+  while (std::fgets(buf, sizeof buf, pipe) != nullptr) out += buf;
+  const int status = ::pclose(pipe);
+  while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
+    out.pop_back();
+  }
+  return (status == 0 && !out.empty()) ? out : "unknown";
+#endif
+}
+
+void write_manifest(const std::string& path, const CampaignSpec& spec,
+                    const std::vector<ScenarioOutcome>& outcomes,
+                    const std::string& git_version) {
+  std::ofstream file(path);
+  if (!file) throw std::runtime_error("cannot write manifest " + path);
+  JsonWriter j(file);
+  j.begin_object();
+  j.key("format");
+  j.value("emask-campaign-manifest-v1");
+  j.key("campaign");
+  j.value(spec.name);
+  j.key("spec_hash");
+  j.value(spec.hash);
+  j.key("generator");
+  j.value(git_version);
+  j.key("seed");
+  j.value(hex_u64(spec.seed));
+  j.key("key");
+  j.value(hex_u64(spec.key));
+  j.key("fixed_input");
+  j.value(hex_u64(spec.fixed_input));
+  j.key("window_begin");
+  j.value(static_cast<std::uint64_t>(spec.window_begin));
+  j.key("window_end");
+  j.value(static_cast<std::uint64_t>(spec.window_end));
+  j.key("timings");
+  j.value("timings.json");  // wall-clock lives there, outside byte-identity
+  j.key("scenario_count");
+  j.value(static_cast<std::uint64_t>(outcomes.size()));
+
+  j.key("scenarios");
+  j.begin_array();
+  for (const ScenarioOutcome& o : outcomes) {
+    const Scenario& s = o.scenario;
+    const ScenarioResult& r = o.result;
+    j.begin_object();
+    j.key("id");
+    j.value(s.id);
+    j.key("cipher");
+    j.value(std::string(cipher_name(s.cipher)));
+    j.key("policy");
+    j.value(std::string(compiler::policy_name(s.policy)));
+    j.key("analysis");
+    j.value(std::string(analysis_name(s.analysis)));
+    j.key("noise_sigma_pj");
+    j.value(s.noise_sigma_pj);
+    j.key("traces");
+    j.value(static_cast<std::uint64_t>(s.traces));
+    j.key("coupling_ff");
+    j.value(s.coupling_ff);
+    j.key("seed");
+    j.value(hex_u64(s.seed));
+    j.key("result");
+    j.begin_object();
+    j.key("encryptions");
+    j.value(r.encryptions);
+    j.key("total_cycles");
+    j.value(r.total_cycles);
+    j.key("total_instructions");
+    j.value(r.total_instructions);
+    j.key("total_energy_uj");
+    j.value(r.total_energy_uj);
+    j.key("mean_uj");
+    j.value(r.mean_uj());
+    j.key("secured_count");
+    j.value(r.secured_count);
+    j.key("program_instructions");
+    j.value(r.program_instructions);
+    j.key("metric");
+    j.value(r.metric);
+    j.key("best_guess");
+    j.value(r.best_guess);
+    j.key("true_value");
+    j.value(r.true_value);
+    j.key("success");
+    j.value(r.success);
+    j.key("margin");
+    j.value(r.margin);
+    j.key("cycles_over_threshold");
+    j.value(r.cycles_over_threshold);
+    j.end_object();
+    j.end_object();
+  }
+  j.end_array();
+
+  std::uint64_t total_encryptions = 0;
+  std::uint64_t total_cycles = 0;
+  double total_energy_uj = 0.0;
+  for (const ScenarioOutcome& o : outcomes) {
+    total_encryptions += o.result.encryptions;
+    total_cycles += o.result.total_cycles;
+    total_energy_uj += o.result.total_energy_uj;
+  }
+  j.key("rollup");
+  j.begin_object();
+  j.key("total_encryptions");
+  j.value(total_encryptions);
+  j.key("total_cycles");
+  j.value(total_cycles);
+  j.key("total_energy_uj");
+  j.value(total_energy_uj);
+  const std::vector<PolicyRollup> rollups = rollup_by_policy(spec, outcomes);
+  const double baseline = rollups.empty() ? 0.0 : rollups.front().mean_uj;
+  const double* ref_baseline =
+      rollups.empty() ? nullptr : find_reference(spec, rollups.front().policy);
+  j.key("by_policy");
+  j.begin_array();
+  for (const PolicyRollup& r : rollups) {
+    j.begin_object();
+    j.key("policy");
+    j.value(std::string(compiler::policy_name(r.policy)));
+    j.key("scenarios");
+    j.value(static_cast<std::uint64_t>(r.scenarios));
+    j.key("mean_uj");
+    j.value(r.mean_uj);
+    const double ratio = baseline > 0.0 ? r.mean_uj / baseline : 0.0;
+    j.key("ratio");
+    j.value(ratio);
+    if (const double* ref = find_reference(spec, r.policy)) {
+      j.key("paper_uj");
+      j.value(*ref);
+      if (ref_baseline != nullptr && *ref_baseline > 0.0) {
+        j.key("paper_ratio");
+        j.value(*ref / *ref_baseline);
+        // Paper-normalized energy: measured ratio on the paper's absolute
+        // scale (our compiler emits denser code, so absolute uJ differ by
+        // a constant factor while the policy ratios match).
+        j.key("normalized_uj");
+        j.value(ratio * *ref_baseline);
+      }
+    }
+    j.end_object();
+  }
+  j.end_array();
+  j.end_object();
+
+  j.end_object();
+  j.finish();
+  file.flush();
+  if (!file) throw std::runtime_error("write failure on " + path);
+}
+
+void write_timings(const std::string& path,
+                   const std::vector<ScenarioOutcome>& outcomes) {
+  std::ofstream file(path);
+  if (!file) throw std::runtime_error("cannot write timings " + path);
+  JsonWriter j(file);
+  j.begin_object();
+  j.key("format");
+  j.value("emask-campaign-timings-v1");
+  double wall = 0.0;
+  for (const ScenarioOutcome& o : outcomes) wall += o.result.wall_seconds;
+  j.key("total_wall_seconds");
+  j.value(wall);
+  j.key("scenarios");
+  j.begin_array();
+  for (const ScenarioOutcome& o : outcomes) {
+    j.begin_object();
+    j.key("id");
+    j.value(o.scenario.id);
+    j.key("resumed");
+    j.value(o.resumed);
+    j.key("wall_seconds");
+    j.value(o.result.wall_seconds);
+    j.key("threads");
+    j.value(o.result.threads_used);
+    const double throughput =
+        o.result.wall_seconds > 0.0
+            ? static_cast<double>(o.result.encryptions) /
+                  o.result.wall_seconds
+            : 0.0;
+    j.key("encryptions_per_sec");
+    j.value(throughput);
+    j.end_object();
+  }
+  j.end_array();
+  j.end_object();
+  j.finish();
+}
+
+}  // namespace emask::campaign

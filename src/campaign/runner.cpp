@@ -1,0 +1,517 @@
+#include "campaign/runner.hpp"
+
+#include <bit>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "aes/aes128.hpp"
+#include "aes/asm_generator.hpp"
+#include "analysis/cpa.hpp"
+#include "analysis/dpa.hpp"
+#include "analysis/generic_cpa.hpp"
+#include "analysis/second_order.hpp"
+#include "analysis/trace_io.hpp"
+#include "analysis/tvla.hpp"
+#include "core/batch_runner.hpp"
+#include "core/masking_pipeline.hpp"
+#include "energy/components.hpp"
+#include "sha/asm_generator.hpp"
+#include "util/csv.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+
+namespace emask::campaign {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Second-order preprocessing lag horizon (cycles between the two combined
+// leakage samples).
+constexpr std::size_t kSecondOrderMaxLag = 4;
+
+std::string fmt(double v) { return util::JsonWriter::format_double(v); }
+
+/// Expands a 64-bit input into the AES key / block / SHA-1 message-block
+/// shapes via a private SplitMix64 stream — pure functions of the input,
+/// as the BatchRunner determinism contract requires.
+aes::Key aes_key_from_u64(std::uint64_t seed) {
+  util::Rng rng(seed);
+  aes::Key key;
+  for (auto& b : key) b = static_cast<std::uint8_t>(rng.next_below(256));
+  return key;
+}
+
+aes::Block aes_block_from_u64(std::uint64_t seed) {
+  util::Rng rng(seed);
+  aes::Block block;
+  for (auto& b : block) b = static_cast<std::uint8_t>(rng.next_below(256));
+  return block;
+}
+
+std::array<std::uint32_t, 16> sha_block_from_u64(std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::array<std::uint32_t, 16> block;
+  for (auto& w : block) w = rng.next_u32();
+  return block;
+}
+
+/// Builds the scenario's device and configures the batch for its cipher.
+core::MaskingPipeline build_device(const Scenario& s,
+                                   const energy::TechParams& params,
+                                   core::BatchConfig& bc) {
+  // Energy scenarios measure the whole encryption; attack scenarios stop
+  // at the end of the analysis window (an attacker windowing round 1 does
+  // not pay for the other fifteen).
+  const std::uint64_t stop =
+      s.analysis == Analysis::kEnergy ? 0 : s.window_end;
+  bc.stop_after_cycles = stop;
+  switch (s.cipher) {
+    case Cipher::kDes:
+      return core::MaskingPipeline::des(s.policy, params);
+    case Cipher::kAes: {
+      const std::string source = aes::generate_aes_asm(
+          aes_key_from_u64(s.key), aes::Block{});  // block poked per run
+      bc.run_function = [stop](const core::MaskingPipeline& device,
+                               const core::BatchInput& input) {
+        assembler::Program image = device.program();
+        aes::poke_plaintext(image, aes_block_from_u64(input.plaintext));
+        return device.run_image(image, stop);
+      };
+      return core::MaskingPipeline::from_source(source, s.policy, params);
+    }
+    case Cipher::kSha1: {
+      const std::string source =
+          sha::generate_sha1_asm(sha_block_from_u64(s.fixed_input));
+      bc.run_function = [stop](const core::MaskingPipeline& device,
+                               const core::BatchInput& input) {
+        assembler::Program image = device.program();
+        sha::poke_message(image, sha_block_from_u64(input.plaintext));
+        return device.run_image(image, stop);
+      };
+      return core::MaskingPipeline::from_source(source, s.policy, params);
+    }
+  }
+  throw SpecError("unreachable cipher");
+}
+
+void write_result_csv(const std::string& dir, const ScenarioResult& r) {
+  util::CsvWriter csv(dir + "/result.csv");
+  csv.write_header({"field", "value"});
+  csv.write_row({"encryptions", std::to_string(r.encryptions)});
+  csv.write_row({"total_cycles", std::to_string(r.total_cycles)});
+  csv.write_row(
+      {"total_instructions", std::to_string(r.total_instructions)});
+  csv.write_row({"total_energy_uj", fmt(r.total_energy_uj)});
+  csv.write_row({"mean_uj", fmt(r.mean_uj())});
+  csv.write_row({"secured_count", std::to_string(r.secured_count)});
+  csv.write_row(
+      {"program_instructions", std::to_string(r.program_instructions)});
+  csv.write_row({"metric", fmt(r.metric)});
+  csv.write_row({"best_guess", std::to_string(r.best_guess)});
+  csv.write_row({"true_value", std::to_string(r.true_value)});
+  csv.write_row({"success", std::string(r.success ? "1" : "0")});
+  csv.write_row({"margin", fmt(r.margin)});
+  csv.write_row(
+      {"cycles_over_threshold", std::to_string(r.cycles_over_threshold)});
+  csv.flush();
+}
+
+void write_breakdown_csv(const std::string& dir,
+                         const energy::Breakdown& breakdown) {
+  util::CsvWriter csv(dir + "/breakdown.csv");
+  csv.write_header({"component", "energy_uj"});
+  for (std::size_t c = 0; c < energy::kNumComponents; ++c) {
+    const auto component = static_cast<energy::Component>(c);
+    csv.write_row({std::string(energy::component_name(component)),
+                   fmt(breakdown.get(component) * 1e6)});
+  }
+  csv.flush();
+}
+
+template <typename Scores>
+void write_guesses_csv(const std::string& dir, const Scores& scores,
+                       const char* score_name) {
+  util::CsvWriter csv(dir + "/guesses.csv");
+  csv.write_header({"guess", score_name});
+  for (std::size_t g = 0; g < scores.size(); ++g) {
+    csv.write_row({std::to_string(g), fmt(scores[g])});
+  }
+  csv.flush();
+}
+
+void fill_batch_stats(ScenarioResult& r, const core::BatchStats& stats) {
+  r.encryptions += stats.encryptions;
+  r.total_cycles += stats.total_cycles;
+  r.total_instructions += stats.total_instructions;
+  r.total_energy_uj += stats.total_energy_uj;
+  r.threads_used = stats.threads_used;
+}
+
+}  // namespace
+
+CampaignRunner::CampaignRunner(CampaignSpec spec, RunnerOptions options)
+    : spec_(std::move(spec)), options_(std::move(options)) {
+  if (options_.out_dir.empty()) {
+    throw SpecError("campaign runner needs an output directory");
+  }
+}
+
+ScenarioResult CampaignRunner::execute(const Scenario& s,
+                                       const std::string& dir) const {
+  const auto t0 = std::chrono::steady_clock::now();
+  const energy::TechParams params = s.tech_params(spec_.tech_overrides);
+  core::BatchConfig bc;
+  bc.threads = options_.jobs;
+  bc.noise_sigma_pj = s.noise_sigma_pj;
+  bc.noise_seed = s.seed ^ 0x5EED50FAull;
+  const core::MaskingPipeline device = build_device(s, params, bc);
+  core::BatchRunner runner(device, bc);
+
+  ScenarioResult r;
+  r.secured_count = device.mask_result().secured_count;
+  r.program_instructions = device.program().text.size();
+
+  // Input for batch index i: plaintext Rng::nth(scenario seed, i) under the
+  // campaign key (for aes/sha1 the u64 is expanded into a block by the run
+  // function, so the same generator drives all three ciphers).
+  const core::InputGenerator random_inputs =
+      core::random_plaintexts(s.key, s.seed);
+  const core::InputGenerator fixed_inputs =
+      [&s](std::size_t) -> core::BatchInput {
+    return {s.key, s.fixed_input};
+  };
+  const std::size_t window_end =
+      s.window_end == 0 ? SIZE_MAX : s.window_end;
+
+  std::unique_ptr<analysis::TraceSetWriter> trace_writer;
+  std::size_t trace_writer_count = 0;
+  const auto open_trace_writer = [&](std::size_t count) {
+    if (!spec_.save_traces) return;
+    trace_writer = std::make_unique<analysis::TraceSetWriter>(
+        dir + "/traces.emts", count);
+    trace_writer_count = count;
+  };
+  const auto record_trace = [&](const core::BatchInput& input,
+                                const analysis::Trace& trace) {
+    if (trace_writer) trace_writer->append(input.plaintext, trace);
+  };
+
+  switch (s.analysis) {
+    case Analysis::kEnergy: {
+      open_trace_writer(s.traces);
+      runner.capture_each(s.traces, random_inputs,
+                          [&](std::size_t, const core::BatchInput& input,
+                              core::EncryptionRun& run) {
+                            record_trace(input, run.trace);
+                          });
+      fill_batch_stats(r, runner.stats());
+      r.metric = r.mean_uj();
+      r.success = true;
+      write_breakdown_csv(dir, runner.stats().breakdown);
+      break;
+    }
+    case Analysis::kDpa: {
+      analysis::DpaConfig cfg;
+      cfg.window_begin = s.window_begin;
+      cfg.window_end = window_end;
+      analysis::DpaAttack dpa(cfg);
+      open_trace_writer(s.traces);
+      runner.capture_each(s.traces, random_inputs,
+                          [&](std::size_t, const core::BatchInput& input,
+                              core::EncryptionRun& run) {
+                            record_trace(input, run.trace);
+                            dpa.add_trace(input.plaintext, run.trace);
+                          });
+      fill_batch_stats(r, runner.stats());
+      const analysis::DpaResult result = dpa.solve();
+      r.metric = result.best_peak;
+      r.best_guess = result.best_guess;
+      r.true_value = analysis::DpaAttack::true_subkey_chunk(s.key, cfg.sbox);
+      r.success = r.best_guess == r.true_value;
+      r.margin = result.margin();
+      write_guesses_csv(dir, result.peak_per_guess, "dom_peak_pj");
+      break;
+    }
+    case Analysis::kCpa: {
+      if (s.cipher == Cipher::kDes) {
+        analysis::CpaConfig cfg;
+        cfg.window_begin = s.window_begin;
+        cfg.window_end = window_end;
+        analysis::CpaAttack cpa(cfg);
+        open_trace_writer(s.traces);
+        runner.capture_each(s.traces, random_inputs,
+                            [&](std::size_t, const core::BatchInput& input,
+                                core::EncryptionRun& run) {
+                              record_trace(input, run.trace);
+                              cpa.add_trace(input.plaintext, run.trace);
+                            });
+        fill_batch_stats(r, runner.stats());
+        const analysis::CpaResult result = cpa.solve();
+        r.metric = result.best_corr;
+        r.best_guess = result.best_guess;
+        r.true_value =
+            analysis::DpaAttack::true_subkey_chunk(s.key, cfg.sbox);
+        r.success = r.best_guess == r.true_value;
+        r.margin = result.margin();
+        write_guesses_csv(dir, result.corr_per_guess, "abs_rho");
+      } else {
+        // AES: classic first-round CPA on the Hamming weight of
+        // sbox(pt[0] ^ guess), 256 guesses.
+        analysis::GenericCpa cpa(256, s.window_begin, window_end);
+        open_trace_writer(s.traces);
+        runner.capture_each(
+            s.traces, random_inputs,
+            [&](std::size_t, const core::BatchInput& input,
+                core::EncryptionRun& run) {
+              record_trace(input, run.trace);
+              const aes::Block pt = aes_block_from_u64(input.plaintext);
+              std::vector<int> hypotheses(256);
+              for (int g = 0; g < 256; ++g) {
+                hypotheses[static_cast<std::size_t>(g)] =
+                    std::popcount(static_cast<unsigned>(aes::sbox(
+                        static_cast<std::uint8_t>(pt[0] ^ g))));
+              }
+              cpa.add_trace(hypotheses, run.trace);
+            });
+        fill_batch_stats(r, runner.stats());
+        const analysis::GenericCpaResult result = cpa.solve();
+        r.metric = result.best_corr;
+        r.best_guess = result.best_guess;
+        r.true_value = aes_key_from_u64(s.key)[0];
+        r.success = r.best_guess == r.true_value;
+        r.margin = result.margin();
+        write_guesses_csv(dir, result.corr_per_guess, "abs_rho");
+      }
+      break;
+    }
+    case Analysis::kTvla: {
+      // Fixed-vs-random Welch t: each class gets traces/2 encryptions,
+      // both with per-index measurement noise (distinct noise seeds, so
+      // the fixed class is not one trace copied N times under noise).
+      const std::size_t per_class = s.traces / 2;
+      analysis::TvlaAssessment tvla(s.window_begin, window_end);
+      core::BatchConfig fixed_bc = bc;
+      fixed_bc.noise_seed = bc.noise_seed ^ 0xF1DEF1DEull;
+      core::BatchRunner fixed_runner(device, fixed_bc);
+      fixed_runner.capture_each(per_class, fixed_inputs,
+                                [&](std::size_t, const core::BatchInput&,
+                                    core::EncryptionRun& run) {
+                                  tvla.add_fixed(run.trace);
+                                });
+      fill_batch_stats(r, fixed_runner.stats());
+      open_trace_writer(per_class);  // random class only
+      runner.capture_each(per_class, random_inputs,
+                          [&](std::size_t, const core::BatchInput& input,
+                              core::EncryptionRun& run) {
+                            record_trace(input, run.trace);
+                            tvla.add_random(run.trace);
+                          });
+      fill_batch_stats(r, runner.stats());
+      const analysis::TvlaResult result = tvla.solve();
+      r.metric = result.max_abs_t;
+      r.cycles_over_threshold = result.cycles_over_threshold;
+      r.success = !result.leaks();
+      util::CsvWriter csv(dir + "/t_per_cycle.csv");
+      csv.write_header({"cycle", "t"});
+      for (std::size_t i = 0; i < result.t_per_cycle.size(); ++i) {
+        csv.write_row({std::to_string(s.window_begin + i),
+                       fmt(result.t_per_cycle[i])});
+      }
+      csv.flush();
+      break;
+    }
+    case Analysis::kSecondOrder: {
+      // Two passes over the same captured set: fit per-cycle means, then
+      // DPA over centered-product combined traces.
+      open_trace_writer(s.traces);
+      analysis::TraceSet set;
+      runner.capture_each(s.traces, random_inputs,
+                          [&](std::size_t, const core::BatchInput& input,
+                              core::EncryptionRun& run) {
+                            record_trace(input, run.trace);
+                            set.add(input.plaintext, std::move(run.trace));
+                          });
+      fill_batch_stats(r, runner.stats());
+      const std::size_t end =
+          window_end == SIZE_MAX && !set.traces.empty()
+              ? set.traces.front().size()
+              : window_end;
+      analysis::SecondOrderPreprocessor pre(s.window_begin, end,
+                                            kSecondOrderMaxLag);
+      for (const analysis::Trace& t : set.traces) pre.fit(t);
+      analysis::DpaAttack dpa(analysis::DpaConfig{});  // combined layout
+      for (std::size_t i = 0; i < set.size(); ++i) {
+        dpa.add_trace(set.inputs[i], pre.combine(set.traces[i]));
+      }
+      const analysis::DpaResult result = dpa.solve();
+      r.metric = result.best_peak;
+      r.best_guess = result.best_guess;
+      r.true_value = analysis::DpaAttack::true_subkey_chunk(s.key, 0);
+      r.success = r.best_guess == r.true_value;
+      r.margin = result.margin();
+      write_guesses_csv(dir, result.peak_per_guess, "dom_peak_pj");
+      break;
+    }
+  }
+
+  if (trace_writer) {
+    if (trace_writer->written() == trace_writer_count) trace_writer->close();
+    trace_writer.reset();
+  }
+  r.wall_seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+  write_result_csv(dir, r);
+  return r;
+}
+
+CampaignReport CampaignRunner::run() {
+  const std::vector<Scenario> scenarios = spec_.expand();
+  const fs::path out(options_.out_dir);
+  fs::create_directories(out / "scenarios");
+  fs::create_directories(out / "checkpoints");
+
+  // Spec guard: an output directory belongs to exactly one spec.
+  const fs::path spec_copy = out / "spec.ini";
+  if (fs::exists(spec_copy)) {
+    std::ifstream in(spec_copy);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    if (fnv1a_hex(buffer.str()) != spec_.hash) {
+      throw SpecError(options_.out_dir +
+                      " already holds a different campaign (spec hash " +
+                      fnv1a_hex(buffer.str()) + " != " + spec_.hash +
+                      "); use a fresh --out directory");
+    }
+  } else {
+    std::ofstream copy(spec_copy);
+    copy << spec_.text;
+    copy.flush();
+    if (!copy) {
+      throw std::runtime_error("cannot write " + spec_copy.string());
+    }
+  }
+
+  CampaignReport report;
+  report.total_scenarios = scenarios.size();
+  for (const Scenario& s : scenarios) {
+    const std::string checkpoint =
+        (out / "checkpoints" / (s.id + ".ini")).string();
+    const std::string dir = (out / "scenarios" / s.id).string();
+    ScenarioOutcome outcome;
+    outcome.scenario = s;
+    if (options_.resume &&
+        load_checkpoint(checkpoint, s, spec_.hash, &outcome.result) &&
+        fs::exists(dir + "/result.csv")) {
+      outcome.resumed = true;
+      ++report.resumed;
+      if (!options_.quiet) {
+        std::printf("[%zu/%zu] %s: resumed from checkpoint\n", s.index + 1,
+                    scenarios.size(), s.id.c_str());
+      }
+    } else {
+      if (options_.limit != 0 && report.executed >= options_.limit) break;
+      fs::create_directories(dir);
+      outcome.result = execute(s, dir);
+      save_checkpoint(checkpoint, s, outcome.result, spec_.hash);
+      ++report.executed;
+      if (!options_.quiet) {
+        std::printf(
+            "[%zu/%zu] %s: %llu enc, %.3f uJ/enc, metric %.4f%s (%.2fs, %zu "
+            "threads)\n",
+            s.index + 1, scenarios.size(), s.id.c_str(),
+            static_cast<unsigned long long>(outcome.result.encryptions),
+            outcome.result.mean_uj(), outcome.result.metric,
+            outcome.result.success ? "" : " [FAILED]",
+            outcome.result.wall_seconds,
+            static_cast<std::size_t>(outcome.result.threads_used));
+      }
+    }
+    report.outcomes.push_back(std::move(outcome));
+  }
+
+  report.complete = report.outcomes.size() == scenarios.size();
+  if (!report.complete) {
+    if (!options_.quiet) {
+      std::printf("campaign interrupted: %zu/%zu scenarios done; rerun "
+                  "with --resume to continue\n",
+                  report.outcomes.size(), scenarios.size());
+    }
+    return report;
+  }
+
+  write_manifest((out / "manifest.json").string(), spec_, report.outcomes,
+                 git_describe());
+  write_timings((out / "timings.json").string(), report.outcomes);
+
+  util::CsvWriter summary((out / "summary.csv").string());
+  summary.write_header({"id", "cipher", "policy", "analysis",
+                        "noise_sigma_pj", "traces", "coupling_ff", "mean_uj",
+                        "metric", "success", "margin"});
+  for (const ScenarioOutcome& o : report.outcomes) {
+    const Scenario& s = o.scenario;
+    summary.write_row({s.id, std::string(cipher_name(s.cipher)),
+                       std::string(compiler::policy_name(s.policy)),
+                       std::string(analysis_name(s.analysis)),
+                       fmt(s.noise_sigma_pj), std::to_string(s.traces),
+                       fmt(s.coupling_ff), fmt(o.result.mean_uj()),
+                       fmt(o.result.metric), o.result.success ? "1" : "0",
+                       fmt(o.result.margin)});
+  }
+  summary.flush();
+  if (!options_.quiet) print_summary(spec_, report, stdout);
+  return report;
+}
+
+void CampaignRunner::print_matrix(const CampaignSpec& spec,
+                                  const std::vector<Scenario>& scenarios,
+                                  std::FILE* out) {
+  std::fprintf(out, "campaign %s: %zu scenarios (spec hash %s)\n",
+               spec.name.c_str(), scenarios.size(), spec.hash.c_str());
+  std::fprintf(out, "%-40s %6s %16s %12s %8s\n", "id", "cipher", "policy",
+               "analysis", "traces");
+  std::uint64_t encryptions = 0;
+  for (const Scenario& s : scenarios) {
+    std::fprintf(out, "%-40s %6s %16s %12s %8zu\n", s.id.c_str(),
+                 std::string(cipher_name(s.cipher)).c_str(),
+                 std::string(compiler::policy_name(s.policy)).c_str(),
+                 std::string(analysis_name(s.analysis)).c_str(), s.traces);
+    encryptions += s.traces;
+  }
+  std::fprintf(out, "total encryptions: %llu\n",
+               static_cast<unsigned long long>(encryptions));
+}
+
+void CampaignRunner::print_summary(const CampaignSpec& spec,
+                                   const CampaignReport& report,
+                                   std::FILE* out) {
+  const std::vector<PolicyRollup> rollups =
+      rollup_by_policy(spec, report.outcomes);
+  if (rollups.empty()) return;
+  const double baseline = rollups.front().mean_uj;
+  const double* ref_baseline = find_reference(spec, rollups.front().policy);
+  std::fprintf(out, "\n%-16s %12s %8s", "policy", "mean uJ/enc", "ratio");
+  const bool with_reference = !spec.reference_uj.empty();
+  if (with_reference) {
+    std::fprintf(out, " %10s %8s %14s", "paper uJ", "ratio", "normalized uJ");
+  }
+  std::fprintf(out, "\n");
+  for (const PolicyRollup& r : rollups) {
+    const double ratio = baseline > 0.0 ? r.mean_uj / baseline : 0.0;
+    std::fprintf(out, "%-16s %12.3f %8.3f",
+                 std::string(compiler::policy_name(r.policy)).c_str(),
+                 r.mean_uj, ratio);
+    const double* ref = find_reference(spec, r.policy);
+    if (with_reference && ref != nullptr && ref_baseline != nullptr &&
+        *ref_baseline > 0.0) {
+      std::fprintf(out, " %10.1f %8.3f %14.2f", *ref, *ref / *ref_baseline,
+                   ratio * *ref_baseline);
+    }
+    std::fprintf(out, "\n");
+  }
+}
+
+}  // namespace emask::campaign

@@ -1,0 +1,381 @@
+#include "campaign/spec.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/argparse.hpp"
+#include "util/ini.hpp"
+#include "util/rng.hpp"
+
+namespace emask::campaign {
+namespace {
+
+using util::ArgParser;
+using util::IniFile;
+
+Cipher parse_cipher(const std::string& name) {
+  if (name == "des") return Cipher::kDes;
+  if (name == "aes") return Cipher::kAes;
+  if (name == "sha1") return Cipher::kSha1;
+  throw SpecError("axes.cipher: unknown cipher '" + name +
+                  "' (expected des|aes|sha1)");
+}
+
+Analysis parse_analysis(const std::string& name) {
+  if (name == "energy") return Analysis::kEnergy;
+  if (name == "dpa") return Analysis::kDpa;
+  if (name == "cpa") return Analysis::kCpa;
+  if (name == "tvla") return Analysis::kTvla;
+  if (name == "second_order") return Analysis::kSecondOrder;
+  throw SpecError("axes.analysis: unknown analysis '" + name +
+                  "' (expected energy|dpa|cpa|tvla|second_order)");
+}
+
+compiler::Policy parse_policy(const std::string& name) {
+  for (const compiler::Policy p :
+       {compiler::Policy::kOriginal, compiler::Policy::kSelective,
+        compiler::Policy::kNaiveLoadStore, compiler::Policy::kAllSecure}) {
+    if (name == compiler::policy_name(p)) return p;
+  }
+  throw SpecError("axes.policy: unknown policy '" + name +
+                  "' (expected original|selective|naive_loadstore|"
+                  "all_secure)");
+}
+
+std::vector<std::string> axis_items(const IniFile::Section& axes,
+                                    const std::string& key) {
+  const IniFile::Entry* entry = axes.find(key);
+  if (entry == nullptr) return {};
+  std::vector<std::string> items = IniFile::split_list(entry->value);
+  for (const std::string& item : items) {
+    if (item.empty()) {
+      throw SpecError("axes." + key + ": empty item in list '" + entry->value +
+                      "'");
+    }
+  }
+  return items;
+}
+
+/// Parses a scalar via ArgParser's strict parsers, rebadging the error as a
+/// SpecError naming section.key.
+template <typename Parse>
+auto spec_scalar(const std::string& where, const std::string& text,
+                 Parse parse) {
+  try {
+    return parse(text, where);
+  } catch (const util::ArgError& e) {
+    throw SpecError(e.what());
+  }
+}
+
+std::uint64_t spec_u64_or_hex(const std::string& where,
+                              const std::string& text) {
+  if (text.rfind("0x", 0) == 0 || text.rfind("0X", 0) == 0) {
+    return spec_scalar(where, text, ArgParser::parse_hex);
+  }
+  return spec_scalar(where, text, ArgParser::parse_u64);
+}
+
+bool spec_bool(const std::string& where, const std::string& text) {
+  if (text == "true" || text == "1" || text == "yes") return true;
+  if (text == "false" || text == "0" || text == "no") return false;
+  throw SpecError(where + ": expected true/false, got '" + text + "'");
+}
+
+void check_known_keys(const IniFile::Section& section,
+                      std::initializer_list<const char*> known) {
+  for (const IniFile::Entry& e : section.entries) {
+    bool ok = false;
+    for (const char* k : known) {
+      if (e.key == k) ok = true;
+    }
+    if (!ok) {
+      throw SpecError("line " + std::to_string(e.line) + ": unknown key '" +
+                      e.key + "' in [" + section.name + "]");
+    }
+  }
+}
+
+}  // namespace
+
+std::string_view cipher_name(Cipher c) {
+  switch (c) {
+    case Cipher::kDes: return "des";
+    case Cipher::kAes: return "aes";
+    case Cipher::kSha1: return "sha1";
+  }
+  return "?";
+}
+
+std::string_view analysis_name(Analysis a) {
+  switch (a) {
+    case Analysis::kEnergy: return "energy";
+    case Analysis::kDpa: return "dpa";
+    case Analysis::kCpa: return "cpa";
+    case Analysis::kTvla: return "tvla";
+    case Analysis::kSecondOrder: return "second_order";
+  }
+  return "?";
+}
+
+std::string fnv1a_hex(const std::string& text) {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ull;
+  }
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+void apply_tech_override(energy::TechParams& params, const std::string& name,
+                         double value) {
+  struct Field {
+    const char* name;
+    double energy::TechParams::* member;
+  };
+  static const Field kFields[] = {
+      {"vdd", &energy::TechParams::vdd},
+      {"c_instr_bus_line", &energy::TechParams::c_instr_bus_line},
+      {"c_addr_bus_line", &energy::TechParams::c_addr_bus_line},
+      {"c_data_bus_line", &energy::TechParams::c_data_bus_line},
+      {"c_latch_bit", &energy::TechParams::c_latch_bit},
+      {"c_adder_node", &energy::TechParams::c_adder_node},
+      {"c_logic_node", &energy::TechParams::c_logic_node},
+      {"c_shift_node", &energy::TechParams::c_shift_node},
+      {"c_xor_node", &energy::TechParams::c_xor_node},
+      {"c_bus_coupling", &energy::TechParams::c_bus_coupling},
+      {"e_clock_tree", &energy::TechParams::e_clock_tree},
+      {"e_fetch_array", &energy::TechParams::e_fetch_array},
+      {"e_decode", &energy::TechParams::e_decode},
+      {"e_rf_read", &energy::TechParams::e_rf_read},
+      {"e_rf_write", &energy::TechParams::e_rf_write},
+      {"e_mem_read", &energy::TechParams::e_mem_read},
+      {"e_mem_write", &energy::TechParams::e_mem_write},
+      {"e_unit_base", &energy::TechParams::e_unit_base},
+      {"e_dummy_load", &energy::TechParams::e_dummy_load},
+  };
+  for (const Field& f : kFields) {
+    if (name == f.name) {
+      params.*f.member = value;
+      return;
+    }
+  }
+  throw SpecError("tech: unknown TechParams field '" + name + "'");
+}
+
+energy::TechParams Scenario::tech_params(
+    const std::vector<std::pair<std::string, double>>& overrides) const {
+  energy::TechParams params = energy::TechParams::smartcard_025um();
+  for (const auto& [name, value] : overrides) {
+    apply_tech_override(params, name, value);
+  }
+  if (coupling_ff > 0.0) params.c_bus_coupling = coupling_ff * 1e-15;
+  return params;
+}
+
+CampaignSpec CampaignSpec::parse(const std::string& text) {
+  IniFile ini;
+  try {
+    ini = IniFile::parse(text);
+  } catch (const util::IniError& e) {
+    throw SpecError(std::string("spec: ") + e.what());
+  }
+
+  for (const IniFile::Section& s : ini.sections()) {
+    if (s.name != "campaign" && s.name != "axes" && s.name != "tech" &&
+        s.name != "reference") {
+      throw SpecError("line " + std::to_string(s.line) +
+                      ": unknown section [" + s.name + "]");
+    }
+  }
+
+  CampaignSpec spec;
+  spec.text = text;
+  spec.hash = fnv1a_hex(text);
+
+  const IniFile::Section* campaign = ini.find_section("campaign");
+  if (campaign == nullptr) {
+    throw SpecError("spec: missing [campaign] section");
+  }
+  check_known_keys(*campaign,
+                   {"name", "seed", "key", "fixed_input", "window_begin",
+                    "window_end", "save_traces"});
+  const IniFile::Entry* name = campaign->find("name");
+  if (name == nullptr || name->value.empty()) {
+    throw SpecError("campaign.name is required");
+  }
+  spec.name = name->value;
+  if (const auto* v = ini.find("campaign", "seed")) {
+    spec.seed = spec_u64_or_hex("campaign.seed", *v);
+  }
+  if (const auto* v = ini.find("campaign", "key")) {
+    spec.key = spec_u64_or_hex("campaign.key", *v);
+  }
+  if (const auto* v = ini.find("campaign", "fixed_input")) {
+    spec.fixed_input = spec_u64_or_hex("campaign.fixed_input", *v);
+  }
+  if (const auto* v = ini.find("campaign", "window_begin")) {
+    spec.window_begin = static_cast<std::size_t>(
+        spec_scalar("campaign.window_begin", *v, ArgParser::parse_u64));
+  }
+  if (const auto* v = ini.find("campaign", "window_end")) {
+    spec.window_end = static_cast<std::size_t>(
+        spec_scalar("campaign.window_end", *v, ArgParser::parse_u64));
+  }
+  if (const auto* v = ini.find("campaign", "save_traces")) {
+    spec.save_traces = spec_bool("campaign.save_traces", *v);
+  }
+  if (spec.window_end != 0 && spec.window_begin >= spec.window_end) {
+    throw SpecError("campaign: window_begin must be < window_end");
+  }
+
+  const IniFile::Section* axes = ini.find_section("axes");
+  if (axes == nullptr) throw SpecError("spec: missing [axes] section");
+  check_known_keys(
+      *axes, {"cipher", "policy", "analysis", "noise", "traces", "coupling"});
+
+  for (const std::string& item : axis_items(*axes, "cipher")) {
+    spec.ciphers.push_back(parse_cipher(item));
+  }
+  for (const std::string& item : axis_items(*axes, "policy")) {
+    spec.policies.push_back(parse_policy(item));
+  }
+  for (const std::string& item : axis_items(*axes, "analysis")) {
+    spec.analyses.push_back(parse_analysis(item));
+  }
+  for (const std::string& item : axis_items(*axes, "noise")) {
+    const double sigma =
+        spec_scalar("axes.noise", item, ArgParser::parse_double);
+    if (sigma < 0.0) throw SpecError("axes.noise: sigma must be >= 0");
+    spec.noise.push_back(sigma);
+  }
+  for (const std::string& item : axis_items(*axes, "traces")) {
+    const auto count = static_cast<std::size_t>(
+        spec_scalar("axes.traces", item, ArgParser::parse_u64));
+    if (count == 0) throw SpecError("axes.traces: must be >= 1");
+    spec.traces.push_back(count);
+  }
+  for (const std::string& item : axis_items(*axes, "coupling")) {
+    const double ff =
+        spec_scalar("axes.coupling", item, ArgParser::parse_double);
+    if (ff < 0.0) throw SpecError("axes.coupling: must be >= 0 fF");
+    spec.coupling_ff.push_back(ff);
+  }
+
+  // Defaults for unlisted axes: a single neutral value.
+  if (spec.ciphers.empty()) spec.ciphers = {Cipher::kDes};
+  if (spec.policies.empty()) {
+    throw SpecError("axes.policy is required (the matrix would be empty)");
+  }
+  if (spec.analyses.empty()) spec.analyses = {Analysis::kEnergy};
+  if (spec.noise.empty()) spec.noise = {0.0};
+  if (spec.traces.empty()) spec.traces = {1};
+  if (spec.coupling_ff.empty()) spec.coupling_ff = {0.0};
+
+  if (const IniFile::Section* tech = ini.find_section("tech")) {
+    for (const IniFile::Entry& e : tech->entries) {
+      const double value =
+          spec_scalar("tech." + e.key, e.value, ArgParser::parse_double);
+      // Validate the field name now, not at scenario 37.
+      energy::TechParams probe;
+      apply_tech_override(probe, e.key, value);
+      spec.tech_overrides.emplace_back(e.key, value);
+    }
+  }
+
+  if (const IniFile::Section* reference = ini.find_section("reference")) {
+    for (const IniFile::Entry& e : reference->entries) {
+      parse_policy(e.key);  // keys are policy names
+      spec.reference_uj.emplace_back(
+          e.key,
+          spec_scalar("reference." + e.key, e.value, ArgParser::parse_double));
+    }
+  }
+
+  return spec;
+}
+
+CampaignSpec CampaignSpec::load_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw SpecError("cannot open spec file " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse(buffer.str());
+}
+
+std::vector<Scenario> CampaignSpec::expand() const {
+  std::vector<Scenario> scenarios;
+  std::size_t index = 0;
+  for (const Cipher cipher : ciphers) {
+    for (const compiler::Policy policy : policies) {
+      for (const Analysis analysis : analyses) {
+        for (const double sigma : noise) {
+          for (const std::size_t count : traces) {
+            for (const double coupling : coupling_ff) {
+              if (analysis == Analysis::kDpa && cipher != Cipher::kDes) {
+                throw SpecError(
+                    "analysis 'dpa' is DES-only (no hypothesis engine for " +
+                    std::string(cipher_name(cipher)) + ")");
+              }
+              if (analysis == Analysis::kSecondOrder &&
+                  cipher != Cipher::kDes) {
+                throw SpecError("analysis 'second_order' is DES-only");
+              }
+              if (analysis == Analysis::kCpa && cipher == Cipher::kSha1) {
+                throw SpecError(
+                    "analysis 'cpa' needs a keyed hypothesis — sha1 "
+                    "supports energy|tvla only");
+              }
+              if ((analysis == Analysis::kDpa ||
+                   analysis == Analysis::kCpa ||
+                   analysis == Analysis::kSecondOrder ||
+                   analysis == Analysis::kTvla) &&
+                  count < 2) {
+                throw SpecError(
+                    std::string("analysis '") +
+                    std::string(analysis_name(analysis)) +
+                    "' needs traces >= 2");
+              }
+              Scenario s;
+              s.index = index;
+              s.cipher = cipher;
+              s.policy = policy;
+              s.analysis = analysis;
+              s.noise_sigma_pj = sigma;
+              s.traces = count;
+              s.coupling_ff = coupling;
+              s.seed = util::Rng::nth(seed, index);
+              s.key = key;
+              s.fixed_input = fixed_input;
+              s.window_begin = window_begin;
+              s.window_end = window_end;
+              char buf[160];
+              char noise_buf[32];
+              char coupling_buf[32];
+              std::snprintf(noise_buf, sizeof noise_buf, "%g", sigma);
+              std::snprintf(coupling_buf, sizeof coupling_buf, "%g", coupling);
+              std::snprintf(buf, sizeof buf, "%04zu-%s-%s-%s-n%s-t%zu-c%s",
+                            index, std::string(cipher_name(cipher)).c_str(),
+                            std::string(compiler::policy_name(policy)).c_str(),
+                            std::string(analysis_name(analysis)).c_str(),
+                            noise_buf, count, coupling_buf);
+              s.id = buf;
+              scenarios.push_back(std::move(s));
+              ++index;
+            }
+          }
+        }
+      }
+    }
+  }
+  if (scenarios.empty()) {
+    throw SpecError("spec expands to an empty scenario matrix");
+  }
+  return scenarios;
+}
+
+}  // namespace emask::campaign

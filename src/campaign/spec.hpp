@@ -1,0 +1,120 @@
+// Declarative campaign specs: the paper's result matrix as data.
+//
+// A campaign spec is an INI file describing a grid of scenarios — the
+// cross-product of experiment axes — plus fixed settings shared by every
+// cell:
+//
+//   [campaign]
+//   name = fig12_overhead          # campaign identifier (manifest, dirs)
+//   seed = 0xC0FFEE                # base seed; scenario i uses Rng::nth(seed, i)
+//   key = 0x133457799BBCDFF1       # cipher key material
+//   fixed_input = 0x0123456789ABCDEF  # fixed-class input (TVLA, energy runs)
+//   window_begin = 3000            # analysis window (cycles)
+//   window_end = 13000             # also the capture stop_after_cycles
+//   save_traces = false            # additionally write traces.emts per scenario
+//
+//   [axes]                         # each key is one axis; values are lists
+//   cipher = des                   # des | aes | sha1
+//   policy = original, selective, naive_loadstore, all_secure
+//   analysis = energy              # energy | dpa | cpa | tvla | second_order
+//   noise = 0                      # Gaussian measurement noise sigma, pJ
+//   traces = 1                     # encryptions per scenario
+//   coupling = 0                   # adjacent-line bus coupling, fF
+//
+//   [tech]                         # optional TechParams overrides (by field
+//   vdd = 2.5                      # name), applied to every scenario
+//
+//   [reference]                    # optional paper numbers, uJ per policy —
+//   original = 46.4                # the summary prints measured ratios next
+//   selective = 52.6               # to the paper's and the ratio-normalized
+//                                  # energies
+//
+// Validation is strict: unknown sections/keys, malformed numbers, bad axis
+// values, analyses a cipher cannot run (dpa on sha1), and empty axes are
+// all SpecError — a campaign that will burn hours of simulation should
+// fail in milliseconds, not at scenario 37.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "compiler/masking.hpp"
+#include "energy/params.hpp"
+
+namespace emask::campaign {
+
+class SpecError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+enum class Cipher { kDes, kAes, kSha1 };
+enum class Analysis { kEnergy, kDpa, kCpa, kTvla, kSecondOrder };
+
+[[nodiscard]] std::string_view cipher_name(Cipher c);
+[[nodiscard]] std::string_view analysis_name(Analysis a);
+
+/// One cell of the campaign matrix, fully resolved.
+struct Scenario {
+  std::size_t index = 0;  // position in expansion order
+  std::string id;         // "0003-des-selective-tvla-n25-t60-c0"
+  Cipher cipher = Cipher::kDes;
+  compiler::Policy policy = compiler::Policy::kOriginal;
+  Analysis analysis = Analysis::kEnergy;
+  double noise_sigma_pj = 0.0;
+  std::size_t traces = 1;
+  double coupling_ff = 0.0;
+  std::uint64_t seed = 0;  // Rng::nth(campaign seed, index)
+  std::uint64_t key = 0;
+  std::uint64_t fixed_input = 0;
+  std::size_t window_begin = 0;
+  std::size_t window_end = 0;  // capture stop_after_cycles (0 = to halt)
+
+  /// TechParams for this cell: campaign [tech] overrides + coupling axis.
+  [[nodiscard]] energy::TechParams tech_params(
+      const std::vector<std::pair<std::string, double>>& overrides) const;
+};
+
+struct CampaignSpec {
+  std::string name;
+  std::uint64_t seed = 0xC0FFEE;
+  std::uint64_t key = 0x133457799BBCDFF1ull;
+  std::uint64_t fixed_input = 0x0123456789ABCDEFull;
+  std::size_t window_begin = 3000;
+  std::size_t window_end = 13000;
+  bool save_traces = false;
+
+  std::vector<Cipher> ciphers;
+  std::vector<compiler::Policy> policies;
+  std::vector<Analysis> analyses;
+  std::vector<double> noise;
+  std::vector<std::size_t> traces;
+  std::vector<double> coupling_ff;
+
+  std::vector<std::pair<std::string, double>> tech_overrides;
+  std::vector<std::pair<std::string, double>> reference_uj;  // policy -> uJ
+
+  std::string text;  // the raw spec, verbatim (copied into the output dir)
+  std::string hash;  // FNV-1a 64 of `text`, hex — the resume/checkpoint guard
+
+  /// Parses and validates; throws SpecError with a precise message.
+  [[nodiscard]] static CampaignSpec parse(const std::string& text);
+  [[nodiscard]] static CampaignSpec load_file(const std::string& path);
+
+  /// Expands the axes into the ordered scenario list (cipher-major,
+  /// coupling-minor nesting).  Throws SpecError for combinations no engine
+  /// exists for (dpa/second_order off DES, cpa on sha1).
+  [[nodiscard]] std::vector<Scenario> expand() const;
+};
+
+/// Sets TechParams field `name` to `value`; throws SpecError for an
+/// unknown field name.
+void apply_tech_override(energy::TechParams& params, const std::string& name,
+                         double value);
+
+/// FNV-1a 64-bit hash, lowercase hex.
+[[nodiscard]] std::string fnv1a_hex(const std::string& text);
+
+}  // namespace emask::campaign

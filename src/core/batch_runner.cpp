@@ -59,8 +59,11 @@ void BatchRunner::capture_each(
   const auto run_one = [this](const MaskingPipeline& device,
                               const BatchInput& input,
                               std::size_t index) -> EncryptionRun {
-    EncryptionRun run = device.run_des(input.key, input.plaintext,
-                                       config_.stop_after_cycles);
+    EncryptionRun run =
+        config_.run_function
+            ? config_.run_function(device, input)
+            : device.run_des(input.key, input.plaintext,
+                             config_.stop_after_cycles);
     if (config_.noise_sigma_pj > 0.0) {
       analysis::NoiseModel noise(config_.noise_sigma_pj,
                                  util::Rng::nth(config_.noise_seed, index));

@@ -51,6 +51,14 @@ struct BatchInput {
 /// index (and thread-safe): the determinism contract hangs on it.
 using InputGenerator = std::function<BatchInput(std::size_t)>;
 
+/// Custom per-encryption run: lets a batch drive non-DES workloads (poke
+/// an AES plaintext or SHA-1 message block into an image copy, then
+/// run_image).  Must be a pure function of (device, input) and thread-safe
+/// — the determinism contract extends to it.  Measurement noise is still
+/// applied by the runner on top of the returned trace.
+using RunFunction =
+    std::function<EncryptionRun(const MaskingPipeline&, const BatchInput&)>;
+
 struct BatchConfig {
   /// Worker threads; 0 = std::thread::hardware_concurrency().
   std::size_t threads = 0;
@@ -64,6 +72,10 @@ struct BatchConfig {
   /// Reorder-window slots per worker (bounds resident traces during
   /// streaming capture).
   std::size_t window_per_thread = 4;
+  /// Null = DES: device.run_des(input.key, input.plaintext,
+  /// stop_after_cycles).  Non-null overrides the whole simulation step
+  /// (stop_after_cycles is then the run function's business).
+  RunFunction run_function;
 };
 
 /// Batch observability: what the capture cost, aggregated in serial order.

@@ -1,0 +1,224 @@
+#include "util/argparse.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace emask::util {
+namespace {
+
+[[noreturn]] void bad_value(const std::string& what, const std::string& kind,
+                            const std::string& text) {
+  throw ArgError(what + ": expected " + kind + ", got '" + text + "'");
+}
+
+}  // namespace
+
+ArgParser::ArgParser(std::string program, std::string synopsis)
+    : program_(std::move(program)), synopsis_(std::move(synopsis)) {}
+
+void ArgParser::add(Option option) {
+  options_.push_back(std::move(option));
+}
+
+const ArgParser::Option* ArgParser::find(const std::string& name) const {
+  for (const Option& o : options_) {
+    if (o.name == name) return &o;
+  }
+  return nullptr;
+}
+
+void ArgParser::flag(const std::string& name, bool* out,
+                     const std::string& help) {
+  add({name, "", help, false, [out](const std::string&) { *out = true; }});
+}
+
+void ArgParser::opt_string(const std::string& name, std::string* out,
+                           const std::string& value_name,
+                           const std::string& help) {
+  add({name, value_name, help, true,
+       [out](const std::string& v) { *out = v; }});
+}
+
+void ArgParser::opt_int(const std::string& name, int* out,
+                        const std::string& help) {
+  add({name, "N", help, true, [name, out](const std::string& v) {
+         *out = static_cast<int>(parse_int(v, "--" + name));
+       }});
+}
+
+void ArgParser::opt_size(const std::string& name, std::size_t* out,
+                         const std::string& help) {
+  add({name, "N", help, true, [name, out](const std::string& v) {
+         *out = static_cast<std::size_t>(parse_u64(v, "--" + name));
+       }});
+}
+
+void ArgParser::opt_u64(const std::string& name, std::uint64_t* out,
+                        const std::string& help) {
+  add({name, "N", help, true, [name, out](const std::string& v) {
+         *out = parse_u64(v, "--" + name);
+       }});
+}
+
+void ArgParser::opt_hex(const std::string& name, std::uint64_t* out,
+                        const std::string& help) {
+  add({name, "HEX", help, true, [name, out](const std::string& v) {
+         *out = parse_hex(v, "--" + name);
+       }});
+}
+
+void ArgParser::opt_double(const std::string& name, double* out,
+                           const std::string& help) {
+  add({name, "X", help, true, [name, out](const std::string& v) {
+         *out = parse_double(v, "--" + name);
+       }});
+}
+
+void ArgParser::opt_choice(const std::string& name, std::string* out,
+                           std::vector<std::string> choices,
+                           const std::string& help) {
+  std::string value_name;
+  for (const std::string& c : choices) {
+    if (!value_name.empty()) value_name += '|';
+    value_name += c;
+  }
+  add({name, value_name, help, true,
+       [name, out, choices = std::move(choices),
+        value_name](const std::string& v) {
+         for (const std::string& c : choices) {
+           if (v == c) {
+             *out = v;
+             return;
+           }
+         }
+         throw ArgError("--" + name + ": invalid value '" + v + "' (expected " +
+                        value_name + ")");
+       }});
+}
+
+void ArgParser::positional(const std::string& value_name, std::string* out,
+                           bool required, const std::string& help) {
+  positionals_.push_back({value_name, help, required, out});
+}
+
+bool ArgParser::parse(int argc, char** argv) const {
+  std::size_t next_positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      return false;
+    }
+    if (arg.rfind("--", 0) == 0) {
+      const std::size_t eq = arg.find('=');
+      const std::string name =
+          arg.substr(2, eq == std::string::npos ? std::string::npos : eq - 2);
+      const Option* option = find(name);
+      if (option == nullptr) {
+        throw ArgError(program_ + ": unknown option '--" + name + "'");
+      }
+      if (option->takes_value) {
+        if (eq == std::string::npos) {
+          throw ArgError("--" + name + ": expected --" + name + "=" +
+                         option->value_name);
+        }
+        option->apply(arg.substr(eq + 1));
+      } else {
+        if (eq != std::string::npos) {
+          throw ArgError("--" + name + " does not take a value");
+        }
+        option->apply("");
+      }
+    } else {
+      if (next_positional >= positionals_.size()) {
+        throw ArgError(program_ + ": unexpected argument '" + arg + "'");
+      }
+      *positionals_[next_positional++].out = arg;
+    }
+  }
+  for (std::size_t p = next_positional; p < positionals_.size(); ++p) {
+    if (positionals_[p].required) {
+      throw ArgError(program_ + ": missing required argument <" +
+                     positionals_[p].value_name + ">");
+    }
+  }
+  return true;
+}
+
+std::string ArgParser::usage() const {
+  std::ostringstream out;
+  out << "usage: " << program_;
+  if (!synopsis_.empty()) out << ' ' << synopsis_;
+  out << '\n';
+  for (const Positional& p : positionals_) {
+    out << "  <" << p.value_name << ">";
+    for (std::size_t pad = p.value_name.size() + 4; pad < 26; ++pad)
+      out << ' ';
+    out << p.help << (p.required ? "" : " (optional)") << '\n';
+  }
+  for (const Option& o : options_) {
+    std::string lhs = "--" + o.name;
+    if (o.takes_value) lhs += "=" + o.value_name;
+    out << "  " << lhs;
+    for (std::size_t pad = lhs.size() + 2; pad < 26; ++pad) out << ' ';
+    out << o.help << '\n';
+  }
+  out << "  --help                  print this message and exit\n";
+  return out.str();
+}
+
+long long ArgParser::parse_int(const std::string& text,
+                               const std::string& what) {
+  if (text.empty()) bad_value(what, "integer", text);
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  if (errno == ERANGE) throw ArgError(what + ": value out of range: " + text);
+  if (end == nullptr || *end != '\0') bad_value(what, "integer", text);
+  return value;
+}
+
+std::uint64_t ArgParser::parse_u64(const std::string& text,
+                                   const std::string& what) {
+  if (text.empty() || text[0] == '-') {
+    bad_value(what, "non-negative integer", text);
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (errno == ERANGE) throw ArgError(what + ": value out of range: " + text);
+  if (end == nullptr || *end != '\0') {
+    bad_value(what, "non-negative integer", text);
+  }
+  return value;
+}
+
+std::uint64_t ArgParser::parse_hex(const std::string& text,
+                                   const std::string& what) {
+  std::string digits = text;
+  if (digits.rfind("0x", 0) == 0 || digits.rfind("0X", 0) == 0) {
+    digits = digits.substr(2);
+  }
+  if (digits.empty()) bad_value(what, "hex integer", text);
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(digits.c_str(), &end, 16);
+  if (errno == ERANGE) throw ArgError(what + ": value out of range: " + text);
+  if (end == nullptr || *end != '\0') bad_value(what, "hex integer", text);
+  return value;
+}
+
+double ArgParser::parse_double(const std::string& text,
+                               const std::string& what) {
+  if (text.empty()) bad_value(what, "number", text);
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (errno == ERANGE) throw ArgError(what + ": value out of range: " + text);
+  if (end == nullptr || *end != '\0') bad_value(what, "number", text);
+  return value;
+}
+
+}  // namespace emask::util

@@ -1,0 +1,108 @@
+// Declarative command-line parsing shared by every emask-* tool.
+//
+// The tools historically hand-rolled their argv loops with inconsistent
+// behavior on malformed numbers (silent atoi(0)) and unknown flags (bare
+// usage dump, no indication of *what* was wrong).  ArgParser centralizes
+// the contract:
+//
+//   * options are `--name=value` (matching the existing tool idiom) or
+//     bare `--name` boolean switches;
+//   * numeric values are parsed strictly — trailing garbage, overflow and
+//     empty values raise ArgError with the offending option and text;
+//   * an unknown option, a missing required positional, or a value outside
+//     a declared choice set raises ArgError with a specific message;
+//   * `--help` prints the generated usage text and returns false from
+//     parse() so the tool can exit 0.
+//
+// Tools catch ArgError, print `e.what()` plus usage() to stderr, and exit
+// non-zero.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace emask::util {
+
+/// A command-line error a tool should report verbatim and exit(1) on.
+class ArgError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class ArgParser {
+ public:
+  /// `program` prefixes every error message; `synopsis` is the one-line
+  /// argument summary shown in usage (e.g. "run SPEC [options]").
+  ArgParser(std::string program, std::string synopsis);
+
+  // Option registration.  Each registers `--name` (without dashes in
+  // `name`) writing through `out` when present on the command line.
+  void flag(const std::string& name, bool* out, const std::string& help);
+  void opt_string(const std::string& name, std::string* out,
+                  const std::string& value_name, const std::string& help);
+  void opt_int(const std::string& name, int* out, const std::string& help);
+  void opt_size(const std::string& name, std::size_t* out,
+                const std::string& help);
+  void opt_u64(const std::string& name, std::uint64_t* out,
+               const std::string& help);
+  /// Hexadecimal u64 (with or without 0x prefix).
+  void opt_hex(const std::string& name, std::uint64_t* out,
+               const std::string& help);
+  void opt_double(const std::string& name, double* out,
+                  const std::string& help);
+  /// String restricted to `choices`; anything else is an ArgError listing
+  /// the valid values.
+  void opt_choice(const std::string& name, std::string* out,
+                  std::vector<std::string> choices, const std::string& help);
+
+  /// Positional argument (filled in registration order).  Optional
+  /// positionals must be registered after required ones.
+  void positional(const std::string& value_name, std::string* out,
+                  bool required, const std::string& help);
+
+  /// Parses argv.  Returns false when --help was handled (usage already
+  /// printed to stdout; the caller should exit 0).  Throws ArgError on any
+  /// malformed input.
+  [[nodiscard]] bool parse(int argc, char** argv) const;
+
+  [[nodiscard]] std::string usage() const;
+
+  // Strict scalar parsing, exposed for reuse (spec files, tests).  All
+  // throw ArgError mentioning `what` on malformed text.
+  [[nodiscard]] static long long parse_int(const std::string& text,
+                                           const std::string& what);
+  [[nodiscard]] static std::uint64_t parse_u64(const std::string& text,
+                                               const std::string& what);
+  [[nodiscard]] static std::uint64_t parse_hex(const std::string& text,
+                                               const std::string& what);
+  [[nodiscard]] static double parse_double(const std::string& text,
+                                           const std::string& what);
+
+ private:
+  struct Option {
+    std::string name;        // without leading dashes
+    std::string value_name;  // empty for bare flags
+    std::string help;
+    bool takes_value = false;
+    std::function<void(const std::string&)> apply;  // value or "" for flags
+  };
+  struct Positional {
+    std::string value_name;
+    std::string help;
+    bool required = false;
+    std::string* out = nullptr;
+  };
+
+  void add(Option option);
+  [[nodiscard]] const Option* find(const std::string& name) const;
+
+  std::string program_;
+  std::string synopsis_;
+  std::vector<Option> options_;
+  std::vector<Positional> positionals_;
+};
+
+}  // namespace emask::util

@@ -4,16 +4,33 @@
 
 namespace emask::util {
 
-CsvWriter::CsvWriter(const std::string& path) : out_(path) {
+CsvWriter::CsvWriter(const std::string& path) : path_(path), out_(path) {
   if (!out_) {
     throw std::runtime_error("CsvWriter: cannot open " + path);
   }
 }
 
+std::string CsvWriter::escape(const std::string& cell) {
+  const bool needs_quotes =
+      cell.find_first_of(",\"\r\n") != std::string::npos;
+  if (!needs_quotes) return cell;
+  std::string out = "\"";
+  for (const char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
 void CsvWriter::write_header(const std::vector<std::string>& columns) {
-  for (std::size_t i = 0; i < columns.size(); ++i) {
+  write_row(columns);
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
     if (i) out_ << ',';
-    out_ << columns[i];
+    out_ << escape(cells[i]);
   }
   out_ << '\n';
 }
@@ -30,6 +47,11 @@ void CsvWriter::write_row(std::initializer_list<double> values) {
   write_row(std::vector<double>(values));
 }
 
-void CsvWriter::flush() { out_.flush(); }
+void CsvWriter::flush() {
+  out_.flush();
+  if (!out_) {
+    throw std::runtime_error("CsvWriter: write failure on " + path_);
+  }
+}
 
 }  // namespace emask::util

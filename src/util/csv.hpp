@@ -8,9 +8,13 @@
 
 namespace emask::util {
 
-/// Writes rows of comma-separated values to a file.  Throws on IO failure at
-/// open time; later write failures surface when the stream is flushed in the
-/// destructor (best effort) or via flush().
+/// Writes rows of comma-separated values to a file.  Throws on IO failure
+/// at open time and from flush(); the destructor flushes best-effort, so
+/// callers who care about write errors (campaign manifests, checkpoints)
+/// must call flush() explicitly before letting the writer die.
+///
+/// String cells follow RFC 4180: a cell containing a comma, double quote,
+/// CR or LF is emitted double-quoted with internal quotes doubled.
 class CsvWriter {
  public:
   explicit CsvWriter(const std::string& path);
@@ -18,9 +22,18 @@ class CsvWriter {
   void write_header(const std::vector<std::string>& columns);
   void write_row(const std::vector<double>& values);
   void write_row(std::initializer_list<double> values);
+  /// Mixed/textual row (campaign summary tables), RFC 4180-escaped.
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Flushes; throws std::runtime_error if any write (including earlier
+  /// buffered ones) failed.
   void flush();
 
+  /// RFC 4180 escaping of one cell, exposed for tests.
+  [[nodiscard]] static std::string escape(const std::string& cell);
+
  private:
+  std::string path_;
   std::ofstream out_;
 };
 

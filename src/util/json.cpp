@@ -1,0 +1,118 @@
+#include "util/json.hpp"
+
+#include <cstdio>
+
+namespace emask::util {
+
+std::string JsonWriter::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonWriter::format_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+void JsonWriter::indent() {
+  for (std::size_t i = 0; i < stack_.size(); ++i) out_ << "  ";
+}
+
+void JsonWriter::before_item() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // value follows "key": on the same line
+  }
+  if (!stack_.empty()) {
+    if (stack_.back().has_items) out_ << ',';
+    out_ << '\n';
+    indent();
+    stack_.back().has_items = true;
+  }
+}
+
+void JsonWriter::begin_object() {
+  before_item();
+  out_ << '{';
+  stack_.push_back({false, false});
+}
+
+void JsonWriter::end_object() {
+  const bool had_items = stack_.back().has_items;
+  stack_.pop_back();
+  if (had_items) {
+    out_ << '\n';
+    indent();
+  }
+  out_ << '}';
+}
+
+void JsonWriter::begin_array() {
+  before_item();
+  out_ << '[';
+  stack_.push_back({true, false});
+}
+
+void JsonWriter::end_array() {
+  const bool had_items = stack_.back().has_items;
+  stack_.pop_back();
+  if (had_items) {
+    out_ << '\n';
+    indent();
+  }
+  out_ << ']';
+}
+
+void JsonWriter::key(const std::string& name) {
+  before_item();
+  out_ << '"' << escape(name) << "\": ";
+  pending_key_ = true;
+}
+
+void JsonWriter::value(const std::string& v) {
+  before_item();
+  out_ << '"' << escape(v) << '"';
+}
+
+void JsonWriter::value(double v) {
+  before_item();
+  out_ << format_double(v);
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  before_item();
+  out_ << v;
+}
+
+void JsonWriter::value(int v) {
+  before_item();
+  out_ << v;
+}
+
+void JsonWriter::value(bool v) {
+  before_item();
+  out_ << (v ? "true" : "false");
+}
+
+void JsonWriter::finish() { out_ << '\n'; }
+
+}  // namespace emask::util

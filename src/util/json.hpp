@@ -1,0 +1,59 @@
+// Deterministic streaming JSON emitter (no external deps, no DOM).
+//
+// Built for the campaign manifest, whose byte-identity across interrupted
+// and resumed runs is a hard guarantee: keys are emitted in call order,
+// indentation is fixed at two spaces, and doubles always use the
+// round-trippable "%.17g" format so a value loaded back from a checkpoint
+// re-serializes to the same bytes.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace emask::util {
+
+class JsonWriter {
+ public:
+  /// The stream must outlive the writer.
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Key of the next value inside an object.
+  void key(const std::string& name);
+
+  void value(const std::string& v);
+  void value(const char* v) { value(std::string(v)); }
+  void value(double v);
+  void value(std::uint64_t v);
+  void value(int v);
+  void value(bool v);
+
+  /// Finishes the document with a trailing newline.  All containers must
+  /// be closed.
+  void finish();
+
+  [[nodiscard]] static std::string escape(const std::string& s);
+  /// The "%.17g" rendering used for every double in the document.
+  [[nodiscard]] static std::string format_double(double v);
+
+ private:
+  void before_item();
+  void indent();
+
+  struct Level {
+    bool is_array = false;
+    bool has_items = false;
+  };
+
+  std::ostream& out_;
+  std::vector<Level> stack_;
+  bool pending_key_ = false;
+};
+
+}  // namespace emask::util

@@ -1,0 +1,307 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "campaign/manifest.hpp"
+#include "campaign/runner.hpp"
+#include "campaign/spec.hpp"
+
+namespace emask::campaign {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr const char* kMinimalSpec =
+    "[campaign]\n"
+    "name = t\n"
+    "[axes]\n"
+    "policy = original\n";
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot read " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// ---------------------------------------------------------------- parsing
+
+TEST(Spec, ParsesMinimalSpecWithDefaults) {
+  const CampaignSpec spec = CampaignSpec::parse(kMinimalSpec);
+  EXPECT_EQ(spec.name, "t");
+  EXPECT_EQ(spec.seed, 0xC0FFEEu);
+  EXPECT_EQ(spec.key, 0x133457799BBCDFF1ull);
+  EXPECT_EQ(spec.window_begin, 3000u);
+  EXPECT_EQ(spec.window_end, 13000u);
+  EXPECT_FALSE(spec.save_traces);
+  ASSERT_EQ(spec.policies.size(), 1u);
+  EXPECT_EQ(spec.hash.size(), 16u);
+}
+
+TEST(Spec, MissingCampaignSectionIsError) {
+  EXPECT_THROW((void)CampaignSpec::parse("[axes]\npolicy = original\n"),
+               SpecError);
+}
+
+TEST(Spec, MissingNameIsError) {
+  EXPECT_THROW(
+      (void)CampaignSpec::parse("[campaign]\n[axes]\npolicy = original\n"),
+      SpecError);
+}
+
+TEST(Spec, UnknownSectionIsError) {
+  EXPECT_THROW((void)CampaignSpec::parse(std::string(kMinimalSpec) +
+                                         "[mystery]\nx = 1\n"),
+               SpecError);
+}
+
+TEST(Spec, UnknownKeyIsError) {
+  EXPECT_THROW((void)CampaignSpec::parse("[campaign]\nname = t\nbogus = 1\n"
+                                         "[axes]\npolicy = original\n"),
+               SpecError);
+}
+
+TEST(Spec, MalformedSeedIsError) {
+  EXPECT_THROW((void)CampaignSpec::parse("[campaign]\nname = t\n"
+                                         "seed = 12junk\n"
+                                         "[axes]\npolicy = original\n"),
+               SpecError);
+}
+
+TEST(Spec, BadAxisValueIsError) {
+  EXPECT_THROW((void)CampaignSpec::parse("[campaign]\nname = t\n"
+                                         "[axes]\npolicy = stealthy\n"),
+               SpecError);
+  EXPECT_THROW((void)CampaignSpec::parse("[campaign]\nname = t\n"
+                                         "[axes]\npolicy = original\n"
+                                         "cipher = rsa\n"),
+               SpecError);
+  EXPECT_THROW((void)CampaignSpec::parse("[campaign]\nname = t\n"
+                                         "[axes]\npolicy = original\n"
+                                         "analysis = psychic\n"),
+               SpecError);
+  EXPECT_THROW((void)CampaignSpec::parse("[campaign]\nname = t\n"
+                                         "[axes]\npolicy = original\n"
+                                         "noise = -1\n"),
+               SpecError);
+  EXPECT_THROW((void)CampaignSpec::parse("[campaign]\nname = t\n"
+                                         "[axes]\npolicy = original\n"
+                                         "traces = 0\n"),
+               SpecError);
+}
+
+TEST(Spec, EmptyListItemIsError) {
+  EXPECT_THROW((void)CampaignSpec::parse("[campaign]\nname = t\n"
+                                         "[axes]\npolicy = original,,selective\n"),
+               SpecError);
+}
+
+TEST(Spec, DuplicateSectionIsError) {
+  EXPECT_THROW((void)CampaignSpec::parse("[campaign]\nname = t\n"
+                                         "[axes]\npolicy = original\n"
+                                         "[axes]\npolicy = selective\n"),
+               SpecError);
+}
+
+TEST(Spec, MissingPolicyAxisIsError) {
+  EXPECT_THROW((void)CampaignSpec::parse("[campaign]\nname = t\n[axes]\n"),
+               SpecError);
+}
+
+TEST(Spec, UnknownTechFieldIsError) {
+  EXPECT_THROW((void)CampaignSpec::parse(std::string(kMinimalSpec) +
+                                         "[tech]\nflux_capacitance = 1.21\n"),
+               SpecError);
+}
+
+TEST(Spec, TechOverrideAppliesToScenarios) {
+  const CampaignSpec spec = CampaignSpec::parse(std::string(kMinimalSpec) +
+                                                "[tech]\nvdd = 1.8\n");
+  const auto scenarios = spec.expand();
+  ASSERT_EQ(scenarios.size(), 1u);
+  EXPECT_DOUBLE_EQ(scenarios[0].tech_params(spec.tech_overrides).vdd, 1.8);
+}
+
+TEST(Spec, ReferenceKeysMustBePolicies) {
+  EXPECT_THROW((void)CampaignSpec::parse(std::string(kMinimalSpec) +
+                                         "[reference]\nstealthy = 46.4\n"),
+               SpecError);
+}
+
+TEST(Spec, WindowMustBeOrdered) {
+  EXPECT_THROW((void)CampaignSpec::parse("[campaign]\nname = t\n"
+                                         "window_begin = 9000\n"
+                                         "window_end = 100\n"
+                                         "[axes]\npolicy = original\n"),
+               SpecError);
+}
+
+// -------------------------------------------------------------- expansion
+
+TEST(Spec, ExpandsCrossProductInOrder) {
+  const CampaignSpec spec = CampaignSpec::parse(
+      "[campaign]\nname = t\n"
+      "[axes]\n"
+      "policy = original, selective\n"
+      "analysis = energy\n"
+      "noise = 0, 10\n"
+      "traces = 3\n");
+  const auto scenarios = spec.expand();
+  ASSERT_EQ(scenarios.size(), 4u);
+  EXPECT_EQ(scenarios[0].id, "0000-des-original-energy-n0-t3-c0");
+  EXPECT_EQ(scenarios[1].id, "0001-des-original-energy-n10-t3-c0");
+  EXPECT_EQ(scenarios[2].id, "0002-des-selective-energy-n0-t3-c0");
+  EXPECT_EQ(scenarios[3].id, "0003-des-selective-energy-n10-t3-c0");
+  // Scenario seeds are decorrelated but reproducible.
+  EXPECT_NE(scenarios[0].seed, scenarios[1].seed);
+  EXPECT_EQ(scenarios[0].seed, spec.expand()[0].seed);
+}
+
+TEST(Spec, RejectsAnalysesTheCipherCannotRun) {
+  EXPECT_THROW((void)CampaignSpec::parse("[campaign]\nname = t\n[axes]\n"
+                                         "cipher = sha1\npolicy = original\n"
+                                         "analysis = dpa\ntraces = 8\n")
+                   .expand(),
+               SpecError);
+  EXPECT_THROW((void)CampaignSpec::parse("[campaign]\nname = t\n[axes]\n"
+                                         "cipher = sha1\npolicy = original\n"
+                                         "analysis = cpa\ntraces = 8\n")
+                   .expand(),
+               SpecError);
+  EXPECT_THROW((void)CampaignSpec::parse("[campaign]\nname = t\n[axes]\n"
+                                         "cipher = aes\npolicy = original\n"
+                                         "analysis = second_order\n"
+                                         "traces = 8\n")
+                   .expand(),
+               SpecError);
+}
+
+TEST(Spec, RejectsAttacksWithTooFewTraces) {
+  EXPECT_THROW((void)CampaignSpec::parse("[campaign]\nname = t\n[axes]\n"
+                                         "policy = original\n"
+                                         "analysis = tvla\ntraces = 1\n")
+                   .expand(),
+               SpecError);
+}
+
+TEST(Spec, HashIsStableAndTextSensitive) {
+  const CampaignSpec a = CampaignSpec::parse(kMinimalSpec);
+  const CampaignSpec b = CampaignSpec::parse(kMinimalSpec);
+  const CampaignSpec c =
+      CampaignSpec::parse(std::string(kMinimalSpec) + "# tweak\n");
+  EXPECT_EQ(a.hash, b.hash);
+  EXPECT_NE(a.hash, c.hash);
+}
+
+// ------------------------------------------------------------ checkpoints
+
+TEST(Checkpoint, RoundTripsThroughDisk) {
+  const fs::path dir = fs::path(::testing::TempDir()) / "emask_ckpt_test";
+  fs::create_directories(dir);
+  Scenario s;
+  s.id = "0000-des-original-energy-n0-t1-c0";
+  ScenarioResult r;
+  r.encryptions = 3;
+  r.total_cycles = 413247;
+  r.total_energy_uj = 68.2166408846;
+  r.metric = 1.0 / 3.0;  // exercise %.17g round-tripping
+  r.best_guess = 6;
+  r.true_value = 6;
+  r.success = true;
+  r.margin = 1.0544;
+  const fs::path path = dir / "ckpt.ini";
+  save_checkpoint(path.string(), s, r, "deadbeefdeadbeef");
+  ScenarioResult loaded;
+  ASSERT_TRUE(load_checkpoint(path.string(), s, "deadbeefdeadbeef", &loaded));
+  EXPECT_EQ(loaded.encryptions, r.encryptions);
+  EXPECT_EQ(loaded.total_cycles, r.total_cycles);
+  EXPECT_DOUBLE_EQ(loaded.total_energy_uj, r.total_energy_uj);
+  EXPECT_DOUBLE_EQ(loaded.metric, r.metric);
+  EXPECT_EQ(loaded.best_guess, r.best_guess);
+  EXPECT_TRUE(loaded.success);
+  // A stale spec hash must invalidate the checkpoint.
+  EXPECT_FALSE(
+      load_checkpoint(path.string(), s, "0000000000000000", &loaded));
+  fs::remove_all(dir);
+}
+
+// ------------------------------------------------------- resume identity
+
+TEST(Runner, InterruptedResumeIsByteIdentical) {
+  const std::string spec_text =
+      "[campaign]\n"
+      "name = resume_test\n"
+      "window_end = 4000\n"
+      "[axes]\n"
+      "policy = original, selective\n"
+      "analysis = energy, tvla\n"
+      "traces = 4\n"
+      "[reference]\n"
+      "original = 46.4\n"
+      "selective = 52.6\n";
+  const CampaignSpec spec = CampaignSpec::parse(spec_text);
+  const fs::path base = fs::path(::testing::TempDir()) / "emask_resume_test";
+  fs::remove_all(base);
+  const fs::path dir_a = base / "uninterrupted";
+  const fs::path dir_b = base / "interrupted";
+
+  RunnerOptions options_a;
+  options_a.out_dir = dir_a.string();
+  options_a.jobs = 2;
+  options_a.quiet = true;
+  const CampaignReport full = CampaignRunner(spec, options_a).run();
+  EXPECT_TRUE(full.complete);
+  EXPECT_EQ(full.executed, 4u);
+
+  // Interrupt after 2 scenarios, then resume with a different thread count.
+  RunnerOptions options_b = options_a;
+  options_b.out_dir = dir_b.string();
+  options_b.limit = 2;
+  const CampaignReport partial = CampaignRunner(spec, options_b).run();
+  EXPECT_FALSE(partial.complete);
+  EXPECT_EQ(partial.executed, 2u);
+  EXPECT_FALSE(fs::exists(dir_b / "manifest.json"));
+
+  RunnerOptions options_c = options_b;
+  options_c.limit = 0;
+  options_c.resume = true;
+  options_c.jobs = 1;
+  const CampaignReport resumed = CampaignRunner(spec, options_c).run();
+  EXPECT_TRUE(resumed.complete);
+  EXPECT_EQ(resumed.resumed, 2u);
+  EXPECT_EQ(resumed.executed, 2u);
+
+  EXPECT_EQ(read_file(dir_a / "manifest.json"),
+            read_file(dir_b / "manifest.json"));
+  EXPECT_EQ(read_file(dir_a / "summary.csv"), read_file(dir_b / "summary.csv"));
+  for (const auto& entry : fs::directory_iterator(dir_a / "scenarios")) {
+    for (const auto& file : fs::directory_iterator(entry.path())) {
+      const fs::path other =
+          dir_b / "scenarios" / entry.path().filename() / file.path().filename();
+      EXPECT_EQ(read_file(file.path()), read_file(other))
+          << "mismatch at " << other;
+    }
+  }
+  fs::remove_all(base);
+}
+
+TEST(Runner, RerunWithDifferentSpecInSameDirIsError) {
+  const fs::path dir = fs::path(::testing::TempDir()) / "emask_guard_test";
+  fs::remove_all(dir);
+  RunnerOptions options;
+  options.out_dir = dir.string();
+  options.quiet = true;
+  const CampaignSpec spec = CampaignSpec::parse(kMinimalSpec);
+  EXPECT_TRUE(CampaignRunner(spec, options).run().complete);
+  const CampaignSpec other =
+      CampaignSpec::parse(std::string(kMinimalSpec) + "# changed\n");
+  EXPECT_THROW((void)CampaignRunner(other, options).run(), SpecError);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace emask::campaign

@@ -2,9 +2,13 @@
 
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 
+#include "util/argparse.hpp"
 #include "util/bitops.hpp"
 #include "util/csv.hpp"
+#include "util/ini.hpp"
+#include "util/json.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 
@@ -161,6 +165,185 @@ TEST(Csv, WritesHeaderAndRows) {
 
 TEST(Csv, ThrowsOnUnopenablePath) {
   EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv"), std::runtime_error);
+}
+
+TEST(Csv, EscapeFollowsRfc4180) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("has,comma"), "\"has,comma\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+  EXPECT_EQ(CsvWriter::escape("cr\rhere"), "\"cr\rhere\"");
+  EXPECT_EQ(CsvWriter::escape(""), "");
+}
+
+TEST(Csv, StringRowsAreEscaped) {
+  const std::string path = ::testing::TempDir() + "/emask_csv_str_test.csv";
+  {
+    CsvWriter csv(path);
+    csv.write_header({"id", "note"});
+    csv.write_row({std::string("a,b"), std::string("x")});
+    csv.flush();
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "id,note");
+  std::getline(in, line);
+  EXPECT_EQ(line, "\"a,b\",x");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, FlushThrowsOnWriteFailure) {
+  // /dev/full accepts the open but fails every write with ENOSPC.
+  std::ifstream probe("/dev/full");
+  if (!probe.good()) GTEST_SKIP() << "no /dev/full on this platform";
+  CsvWriter csv("/dev/full");
+  csv.write_header({"a"});
+  EXPECT_THROW(csv.flush(), std::runtime_error);
+}
+
+TEST(ArgParser, ParsesOptionsAndPositionals) {
+  std::string pos;
+  std::string name = "default";
+  std::size_t count = 0;
+  std::uint64_t key = 0;
+  double sigma = 0.0;
+  bool on = false;
+  ArgParser parser("t", "FILE [options]");
+  parser.positional("FILE", &pos, true, "input");
+  parser.opt_string("name", &name, "S", "a string");
+  parser.opt_size("count", &count, "a count");
+  parser.opt_hex("key", &key, "a key");
+  parser.opt_double("sigma", &sigma, "noise");
+  parser.flag("on", &on, "a switch");
+  const char* argv[] = {"t",          "--name=x", "--count=7", "in.txt",
+                        "--key=0xAB", "--sigma=1.5", "--on"};
+  EXPECT_TRUE(parser.parse(7, const_cast<char**>(argv)));
+  EXPECT_EQ(pos, "in.txt");
+  EXPECT_EQ(name, "x");
+  EXPECT_EQ(count, 7u);
+  EXPECT_EQ(key, 0xABu);
+  EXPECT_DOUBLE_EQ(sigma, 1.5);
+  EXPECT_TRUE(on);
+}
+
+TEST(ArgParser, RejectsUnknownOption) {
+  ArgParser parser("t", "");
+  const char* argv[] = {"t", "--bogus=1"};
+  EXPECT_THROW((void)parser.parse(2, const_cast<char**>(argv)), ArgError);
+}
+
+TEST(ArgParser, RejectsMissingRequiredPositional) {
+  std::string pos;
+  ArgParser parser("t", "FILE");
+  parser.positional("FILE", &pos, true, "input");
+  const char* argv[] = {"t"};
+  EXPECT_THROW((void)parser.parse(1, const_cast<char**>(argv)), ArgError);
+}
+
+TEST(ArgParser, RejectsValueOutsideChoices) {
+  std::string mode = "a";
+  ArgParser parser("t", "");
+  parser.opt_choice("mode", &mode, {"a", "b"}, "pick one");
+  const char* argv[] = {"t", "--mode=c"};
+  EXPECT_THROW((void)parser.parse(2, const_cast<char**>(argv)), ArgError);
+}
+
+TEST(ArgParser, HelpReturnsFalse) {
+  ArgParser parser("t", "");
+  const char* argv[] = {"t", "--help"};
+  EXPECT_FALSE(parser.parse(2, const_cast<char**>(argv)));
+}
+
+TEST(ArgParser, StrictScalarParsing) {
+  EXPECT_EQ(ArgParser::parse_int("-42", "x"), -42);
+  EXPECT_EQ(ArgParser::parse_u64("18446744073709551615", "x"),
+            0xFFFFFFFFFFFFFFFFull);
+  EXPECT_EQ(ArgParser::parse_hex("0xDEAD", "x"), 0xDEADu);
+  EXPECT_EQ(ArgParser::parse_hex("beef", "x"), 0xBEEFu);
+  EXPECT_DOUBLE_EQ(ArgParser::parse_double("2.5e-3", "x"), 2.5e-3);
+  EXPECT_THROW((void)ArgParser::parse_int("12abc", "x"), ArgError);
+  EXPECT_THROW((void)ArgParser::parse_int("", "x"), ArgError);
+  EXPECT_THROW((void)ArgParser::parse_u64("-1", "x"), ArgError);
+  EXPECT_THROW((void)ArgParser::parse_hex("0xZZ", "x"), ArgError);
+  EXPECT_THROW((void)ArgParser::parse_double("1.5garbage", "x"), ArgError);
+}
+
+TEST(Ini, ParsesSectionsKeysAndComments) {
+  const IniFile ini = IniFile::parse(
+      "# leading comment\n"
+      "[alpha]\n"
+      "key = value  # trailing comment\n"
+      "quoted = \" spaced # kept \"\n"
+      "; another comment\n"
+      "[beta]\n"
+      "list = a, b , c\n");
+  ASSERT_EQ(ini.sections().size(), 2u);
+  EXPECT_EQ(*ini.find("alpha", "key"), "value");
+  EXPECT_EQ(*ini.find("alpha", "quoted"), " spaced # kept ");
+  EXPECT_EQ(ini.find("alpha", "absent"), nullptr);
+  EXPECT_EQ(ini.get_or("beta", "missing", "fb"), "fb");
+  const auto items = IniFile::split_list(*ini.find("beta", "list"));
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_EQ(items[0], "a");
+  EXPECT_EQ(items[1], "b");
+  EXPECT_EQ(items[2], "c");
+}
+
+TEST(Ini, SplitListPreservesEmptyItems) {
+  const auto items = IniFile::split_list("a,,b");
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_EQ(items[1], "");
+}
+
+TEST(Ini, KeyOutsideSectionIsError) {
+  EXPECT_THROW((void)IniFile::parse("key = 1\n"), IniError);
+}
+
+TEST(Ini, DuplicateSectionIsError) {
+  EXPECT_THROW((void)IniFile::parse("[a]\nx = 1\n[a]\ny = 2\n"), IniError);
+}
+
+TEST(Ini, DuplicateKeyIsError) {
+  EXPECT_THROW((void)IniFile::parse("[a]\nx = 1\nx = 2\n"), IniError);
+}
+
+TEST(Ini, MalformedLineIsErrorWithLineNumber) {
+  try {
+    (void)IniFile::parse("[a]\nnot an assignment\n");
+    FAIL() << "expected IniError";
+  } catch (const IniError& e) {
+    EXPECT_EQ(e.line(), 2);
+  }
+}
+
+TEST(Json, EmitsDeterministicDocument) {
+  std::ostringstream out;
+  JsonWriter json(out);
+  json.begin_object();
+  json.key("name");
+  json.value("say \"hi\"\n");
+  json.key("count");
+  json.value(std::uint64_t{3});
+  json.key("list");
+  json.begin_array();
+  json.value(1.5);
+  json.value(true);
+  json.end_array();
+  json.end_object();
+  json.finish();
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"say \\\"hi\\\"\\n\""), std::string::npos);
+  EXPECT_NE(text.find("\"count\": 3"), std::string::npos);
+  EXPECT_NE(text.find("1.5"), std::string::npos);
+  EXPECT_NE(text.find("true"), std::string::npos);
+}
+
+TEST(Json, FormatDoubleRoundTrips) {
+  const double values[] = {0.0, 1.0 / 3.0, 22.738847, 1e-300, -2.5};
+  for (const double v : values) {
+    EXPECT_EQ(std::stod(JsonWriter::format_double(v)), v);
+  }
 }
 
 }  // namespace

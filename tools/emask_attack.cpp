@@ -3,19 +3,9 @@
 //
 //   emask-attack [options]
 //
-//   --attack=dpa|cpa|tvla     attack type (default: cpa)
-//   --policy=NAME             device protection (default: original)
-//   --traces=N                trace budget (default: 400)
-//   --sbox=S                  target round-1 S-box, 1..8 (default: 1)
-//   --bit=B                   DPA target output bit, 0..3 (default: 0)
-//   --key=HEX                 the card's (secret) key
-//   --noise=PJ                Gaussian measurement noise sigma, pJ
-//   --coupling=FF             adjacent-line bus coupling, fF
-//   --from=FILE               attack a previously captured EMTS trace set
-//                             (see emask-capture) instead of the live card
+// Exit status: 0 attack succeeded (or TVLA passed), 1 usage error,
+// 2 runtime error, 3 attack failed / leakage detected.
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <string>
 
 #include "analysis/cpa.hpp"
@@ -24,79 +14,59 @@
 #include "analysis/tvla.hpp"
 #include "core/leakage_map.hpp"
 #include "core/masking_pipeline.hpp"
+#include "tool_common.hpp"
 #include "util/rng.hpp"
 
 using namespace emask;
 
 namespace {
-
 constexpr std::size_t kRound1End = 13000;
-
-int usage() {
-  std::fprintf(stderr,
-               "usage: emask-attack [--attack=dpa|cpa|tvla|localize] [--policy=NAME]\n"
-               "                    [--traces=N] [--sbox=1..8] [--bit=0..3]\n"
-               "                    [--key=HEX] [--noise=PJ] [--coupling=FF]\n");
-  return 1;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string attack = "cpa";
-  compiler::Policy policy = compiler::Policy::kOriginal;
+  std::string policy_name = "original";
   int traces = 400;
-  int sbox = 0;
+  int sbox = 1;
   int bit = 0;
   std::uint64_t key = 0x133457799BBCDFF1ull;
   double noise_pj = 0.0;
   double coupling_ff = 0.0;
   std::string from_path;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg.rfind("--attack=", 0) == 0) {
-      attack = arg.substr(9);
-    } else if (arg.rfind("--policy=", 0) == 0) {
-      const std::string name = arg.substr(9);
-      bool found = false;
-      for (const compiler::Policy p :
-           {compiler::Policy::kOriginal, compiler::Policy::kSelective,
-            compiler::Policy::kNaiveLoadStore, compiler::Policy::kAllSecure}) {
-        if (name == compiler::policy_name(p)) {
-          policy = p;
-          found = true;
-        }
-      }
-      if (!found) return usage();
-    } else if (arg.rfind("--traces=", 0) == 0) {
-      traces = std::atoi(arg.substr(9).c_str());
-    } else if (arg.rfind("--sbox=", 0) == 0) {
-      sbox = std::atoi(arg.substr(7).c_str()) - 1;
-    } else if (arg.rfind("--bit=", 0) == 0) {
-      bit = std::atoi(arg.substr(6).c_str());
-    } else if (arg.rfind("--key=", 0) == 0) {
-      key = std::strtoull(arg.substr(6).c_str(), nullptr, 16);
-    } else if (arg.rfind("--noise=", 0) == 0) {
-      noise_pj = std::atof(arg.substr(8).c_str());
-    } else if (arg.rfind("--coupling=", 0) == 0) {
-      coupling_ff = std::atof(arg.substr(11).c_str());
-    } else if (arg.rfind("--from=", 0) == 0) {
-      from_path = arg.substr(7);
-    } else {
-      return usage();
-    }
-  }
+  util::ArgParser parser("emask-attack", "[options]");
+  parser.opt_choice("attack", &attack, {"dpa", "cpa", "tvla", "localize"},
+                    "attack type (default cpa)");
+  parser.opt_choice("policy", &policy_name,
+                    {"original", "selective", "naive_loadstore",
+                     "all_secure"},
+                    "device protection (default original)");
+  parser.opt_int("traces", &traces, "trace budget (default 400)");
+  parser.opt_int("sbox", &sbox, "target round-1 S-box, 1..8 (default 1)");
+  parser.opt_int("bit", &bit, "DPA target output bit, 0..3 (default 0)");
+  parser.opt_hex("key", &key, "the card's (secret) key");
+  parser.opt_double("noise", &noise_pj,
+                    "Gaussian measurement noise sigma, pJ");
+  parser.opt_double("coupling", &coupling_ff,
+                    "adjacent-line bus coupling, fF");
+  parser.opt_string("from", &from_path, "FILE",
+                    "attack a captured EMTS trace set (see emask-capture) "
+                    "instead of the live card");
+  const int parsed = tools::parse_or_usage(parser, argc, argv);
+  if (parsed != 0) return parsed > 0 ? 1 : 0;
+
+  sbox -= 1;  // user-facing 1..8 -> internal 0..7
   if (sbox < 0 || sbox > 7 || bit < 0 || bit > 3 || traces < 2) {
-    return usage();
+    std::fprintf(stderr,
+                 "emask-attack: need --sbox in 1..8, --bit in 0..3, "
+                 "--traces >= 2\n%s",
+                 parser.usage().c_str());
+    return 1;
   }
 
   try {
-    const energy::TechParams params =
-        coupling_ff > 0.0
-            ? energy::TechParams::smartcard_025um_with_coupling(coupling_ff *
-                                                                1e-15)
-            : energy::TechParams::smartcard_025um();
+    const compiler::Policy policy = tools::to_policy(policy_name);
+    const energy::TechParams params = tools::tech_params(coupling_ff);
     const auto device = core::MaskingPipeline::des(policy, params);
     analysis::NoiseModel noise(noise_pj, 0xC0FFEE);
     util::Rng rng(0xA77AC4);
@@ -180,20 +150,18 @@ int main(int argc, char** argv) {
       }
       return map.leaks() ? 3 : 0;
     }
-    if (attack == "tvla") {
-      analysis::TvlaAssessment tvla(3000, kRound1End);
-      for (int i = 0; i < traces / 2; ++i) {
-        tvla.add_fixed(capture(0x0123456789ABCDEFull));
-        tvla.add_random(capture(rng.next_u64()));
-      }
-      const analysis::TvlaResult r = tvla.solve();
-      std::printf("TVLA: max |t| = %.2f at cycle %zu; %zu cycles over the "
-                  "4.5 threshold -> %s\n",
-                  r.max_abs_t, r.worst_cycle, r.cycles_over_threshold,
-                  r.leaks() ? "LEAKS" : "passes");
-      return r.leaks() ? 3 : 0;
+    // attack == "tvla" (opt_choice already rejected anything else).
+    analysis::TvlaAssessment tvla(3000, kRound1End);
+    for (int i = 0; i < traces / 2; ++i) {
+      tvla.add_fixed(capture(0x0123456789ABCDEFull));
+      tvla.add_random(capture(rng.next_u64()));
     }
-    return usage();
+    const analysis::TvlaResult r = tvla.solve();
+    std::printf("TVLA: max |t| = %.2f at cycle %zu; %zu cycles over the "
+                "4.5 threshold -> %s\n",
+                r.max_abs_t, r.worst_cycle, r.cycles_over_threshold,
+                r.leaks() ? "LEAKS" : "passes");
+    return r.leaks() ? 3 : 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "emask-attack: %s\n", e.what());
     return 2;

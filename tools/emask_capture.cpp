@@ -1,79 +1,48 @@
 // emask-capture: acquire a power-trace set from the simulated DES card and
 // save it as an EMTS file for offline analysis (emask-attack --from=FILE).
-//
-//   emask-capture --out=FILE [--traces=N] [--policy=NAME] [--key=HEX]
-//                 [--window-end=CYCLES] [--noise=PJ] [--coupling=FF]
 #include <cstdio>
-#include <cstdlib>
 #include <string>
 
 #include "analysis/trace_io.hpp"
 #include "core/batch_runner.hpp"
 #include "core/masking_pipeline.hpp"
+#include "tool_common.hpp"
 
 using namespace emask;
 
-namespace {
-
-int usage() {
-  std::fprintf(stderr,
-               "usage: emask-capture --out=FILE [--traces=N] [--policy=NAME]"
-               " [--key=HEX]\n"
-               "                     [--window-end=CYCLES] [--noise=PJ] "
-               "[--coupling=FF]\n");
-  return 1;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   std::string out_path;
-  compiler::Policy policy = compiler::Policy::kOriginal;
-  int traces = 400;
+  std::string policy_name = "original";
+  std::size_t traces = 400;
   std::uint64_t key = 0x133457799BBCDFF1ull;
   std::uint64_t window_end = 13000;
   double noise_pj = 0.0;
   double coupling_ff = 0.0;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg.rfind("--out=", 0) == 0) {
-      out_path = arg.substr(6);
-    } else if (arg.rfind("--policy=", 0) == 0) {
-      const std::string name = arg.substr(9);
-      bool found = false;
-      for (const compiler::Policy p :
-           {compiler::Policy::kOriginal, compiler::Policy::kSelective,
-            compiler::Policy::kNaiveLoadStore, compiler::Policy::kAllSecure}) {
-        if (name == compiler::policy_name(p)) {
-          policy = p;
-          found = true;
-        }
-      }
-      if (!found) return usage();
-    } else if (arg.rfind("--traces=", 0) == 0) {
-      traces = std::atoi(arg.substr(9).c_str());
-    } else if (arg.rfind("--key=", 0) == 0) {
-      key = std::strtoull(arg.substr(6).c_str(), nullptr, 16);
-    } else if (arg.rfind("--window-end=", 0) == 0) {
-      window_end = std::strtoull(arg.substr(13).c_str(), nullptr, 10);
-    } else if (arg.rfind("--noise=", 0) == 0) {
-      noise_pj = std::atof(arg.substr(8).c_str());
-    } else if (arg.rfind("--coupling=", 0) == 0) {
-      coupling_ff = std::atof(arg.substr(11).c_str());
-    } else {
-      return usage();
-    }
+  util::ArgParser parser("emask-capture", "--out=FILE [options]");
+  parser.opt_string("out", &out_path, "FILE", "EMTS output path (required)");
+  parser.opt_size("traces", &traces, "trace count (default 400)");
+  parser.opt_choice("policy", &policy_name,
+                    {"original", "selective", "naive_loadstore",
+                     "all_secure"},
+                    "device protection policy");
+  parser.opt_hex("key", &key, "the card's secret key");
+  parser.opt_u64("window-end", &window_end,
+                 "truncate each encryption after N cycles");
+  parser.opt_double("noise", &noise_pj, "Gaussian noise sigma, pJ");
+  parser.opt_double("coupling", &coupling_ff, "bus coupling, fF");
+  const int parsed = tools::parse_or_usage(parser, argc, argv);
+  if (parsed != 0) return parsed > 0 ? 1 : 0;
+  if (out_path.empty() || traces < 1) {
+    std::fprintf(stderr, "emask-capture: --out=FILE and --traces >= 1 are "
+                 "required\n%s", parser.usage().c_str());
+    return 1;
   }
-  if (out_path.empty() || traces < 1) return usage();
 
   try {
-    const energy::TechParams params =
-        coupling_ff > 0.0
-            ? energy::TechParams::smartcard_025um_with_coupling(coupling_ff *
-                                                                1e-15)
-            : energy::TechParams::smartcard_025um();
-    const auto device = core::MaskingPipeline::des(policy, params);
+    const compiler::Policy policy = tools::to_policy(policy_name);
+    const auto device =
+        core::MaskingPipeline::des(policy, tools::tech_params(coupling_ff));
     // Parallel capture streamed straight to disk: the plaintext for trace i
     // is Rng::nth(0xA77AC4, i) — the same stream emask-attack replays —
     // and measurement noise is seeded per trace index, so the file is
@@ -83,15 +52,14 @@ int main(int argc, char** argv) {
     bc.noise_sigma_pj = noise_pj;
     bc.noise_seed = 0xC0FFEE;
     core::BatchRunner runner(device, bc);
-    const auto n = static_cast<std::size_t>(traces);
-    analysis::TraceSetWriter writer(out_path, n);
+    analysis::TraceSetWriter writer(out_path, traces);
     runner.capture_each(
-        n, core::random_plaintexts(key, 0xA77AC4),
+        traces, core::random_plaintexts(key, 0xA77AC4),
         [&](std::size_t i, const core::BatchInput& input,
             core::EncryptionRun& run) {
           writer.append(input.plaintext, run.trace);
           if ((i + 1) % 100 == 0) {
-            std::printf("  %zu/%d traces\n", i + 1, traces);
+            std::printf("  %zu/%zu traces\n", i + 1, traces);
           }
         });
     writer.close();

@@ -5,63 +5,35 @@
 //   emask-des --key=HEX --block=HEX [--decrypt]       simulate one block
 //             [--policy=NAME]
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <string>
 
 #include "core/masking_pipeline.hpp"
 #include "des/asm_generator.hpp"
 #include "des/des.hpp"
+#include "tool_common.hpp"
 
 using namespace emask;
-
-namespace {
-
-int usage() {
-  std::fprintf(
-      stderr,
-      "usage: emask-des --emit [--decrypt]\n"
-      "       emask-des --key=HEX --block=HEX [--decrypt] [--policy=NAME]\n");
-  return 1;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   bool emit = false;
   bool decrypt = false;
-  std::uint64_t key = 0, block = 0;
-  bool have_key = false, have_block = false;
-  compiler::Policy policy = compiler::Policy::kSelective;
+  std::uint64_t key = 0;
+  std::uint64_t block = 0;
+  std::string policy_name = "selective";
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--emit") {
-      emit = true;
-    } else if (arg == "--decrypt") {
-      decrypt = true;
-    } else if (arg.rfind("--key=", 0) == 0) {
-      key = std::strtoull(arg.substr(6).c_str(), nullptr, 16);
-      have_key = true;
-    } else if (arg.rfind("--block=", 0) == 0) {
-      block = std::strtoull(arg.substr(8).c_str(), nullptr, 16);
-      have_block = true;
-    } else if (arg.rfind("--policy=", 0) == 0) {
-      const std::string name = arg.substr(9);
-      bool found = false;
-      for (const compiler::Policy p :
-           {compiler::Policy::kOriginal, compiler::Policy::kSelective,
-            compiler::Policy::kNaiveLoadStore, compiler::Policy::kAllSecure}) {
-        if (name == compiler::policy_name(p)) {
-          policy = p;
-          found = true;
-        }
-      }
-      if (!found) return usage();
-    } else {
-      return usage();
-    }
-  }
+  util::ArgParser parser("emask-des",
+                         "--emit [--decrypt] | --key=HEX --block=HEX "
+                         "[options]");
+  parser.flag("emit", &emit, "print the annotated DES program and exit");
+  parser.flag("decrypt", &decrypt, "generate/run the decryption direction");
+  parser.opt_hex("key", &key, "the card's key");
+  parser.opt_hex("block", &block, "the 64-bit input block");
+  parser.opt_choice("policy", &policy_name,
+                    {"original", "selective", "naive_loadstore",
+                     "all_secure"},
+                    "device protection policy");
+  const int parsed = tools::parse_or_usage(parser, argc, argv);
+  if (parsed != 0) return parsed > 0 ? 1 : 0;
 
   des::DesAsmOptions options;
   options.decrypt = decrypt;
@@ -69,9 +41,22 @@ int main(int argc, char** argv) {
     std::fputs(des::generate_des_asm(0, 0, options).c_str(), stdout);
     return 0;
   }
-  if (!have_key || !have_block) return usage();
+  // argv presence check: a legitimately all-zero key is still explicit.
+  bool have_key = false;
+  bool have_block = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--key=", 0) == 0) have_key = true;
+    if (arg.rfind("--block=", 0) == 0) have_block = true;
+  }
+  if (!have_key || !have_block) {
+    std::fprintf(stderr, "emask-des: --key and --block are required unless "
+                 "--emit\n%s", parser.usage().c_str());
+    return 1;
+  }
 
   try {
+    const compiler::Policy policy = tools::to_policy(policy_name);
     const auto pipeline = core::MaskingPipeline::des(
         policy, energy::TechParams::smartcard_025um(), options);
     const core::EncryptionRun run = pipeline.run_des(key, block);

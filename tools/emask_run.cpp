@@ -2,90 +2,50 @@
 //
 //   emask-run program.s [options]
 //
-//   --policy=original|selective|naive_loadstore|all_secure   (default:
-//       selective)
-//   --trace=FILE.csv      write the per-cycle energy trace
-//   --listing             print the compiled program with secure markings
-//   --breakdown           print the per-component energy table
-//   --phases              print energy per labelled program phase
-//   --coupling=FF         enable adjacent-line bus coupling (femtofarads)
-//   --max-cycles=N        simulation budget (default 50M)
-//
 // Exit status: 0 on success, 1 on usage errors, 2 on compile/run errors.
 #include <cstdio>
-#include <cstring>
 #include <fstream>
-#include <optional>
 #include <sstream>
 #include <string>
 
 #include "core/masking_pipeline.hpp"
 #include "core/phase_profile.hpp"
 #include "energy/components.hpp"
+#include "tool_common.hpp"
 #include "util/csv.hpp"
 
 using namespace emask;
 
-namespace {
-
-std::optional<compiler::Policy> parse_policy(const std::string& name) {
-  for (const compiler::Policy p :
-       {compiler::Policy::kOriginal, compiler::Policy::kSelective,
-        compiler::Policy::kNaiveLoadStore, compiler::Policy::kAllSecure}) {
-    if (name == compiler::policy_name(p)) return p;
-  }
-  return std::nullopt;
-}
-
-int usage() {
-  std::fprintf(stderr,
-               "usage: emask-run program.s [--policy=NAME] [--trace=FILE] "
-               "[--listing]\n"
-               "                 [--breakdown] [--phases] [--coupling=FF] "
-               "[--max-cycles=N]\n"
-               "policies: original selective naive_loadstore all_secure\n");
-  return 1;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   std::string source_path;
   std::string trace_path;
-  compiler::Policy policy = compiler::Policy::kSelective;
+  std::string policy_name = "selective";
   bool listing = false;
   bool breakdown = false;
   bool phases = false;
   double coupling_ff = 0.0;
   std::uint64_t max_cycles = 50'000'000;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg.rfind("--policy=", 0) == 0) {
-      const auto p = parse_policy(arg.substr(9));
-      if (!p) return usage();
-      policy = *p;
-    } else if (arg.rfind("--trace=", 0) == 0) {
-      trace_path = arg.substr(8);
-    } else if (arg == "--listing") {
-      listing = true;
-    } else if (arg == "--breakdown") {
-      breakdown = true;
-    } else if (arg == "--phases") {
-      phases = true;
-    } else if (arg.rfind("--coupling=", 0) == 0) {
-      coupling_ff = std::atof(arg.substr(11).c_str());
-    } else if (arg.rfind("--max-cycles=", 0) == 0) {
-      max_cycles = std::strtoull(arg.substr(13).c_str(), nullptr, 10);
-    } else if (arg.rfind("--", 0) == 0) {
-      return usage();
-    } else if (source_path.empty()) {
-      source_path = arg;
-    } else {
-      return usage();
-    }
-  }
-  if (source_path.empty()) return usage();
+  util::ArgParser parser("emask-run", "program.s [options]");
+  parser.positional("program.s", &source_path, true,
+                    "annotated assembly source");
+  parser.opt_choice("policy", &policy_name,
+                    {"original", "selective", "naive_loadstore",
+                     "all_secure"},
+                    "protection policy (default selective)");
+  parser.opt_string("trace", &trace_path, "FILE",
+                    "write the per-cycle energy trace CSV");
+  parser.flag("listing", &listing,
+              "print the compiled program with secure markings");
+  parser.flag("breakdown", &breakdown,
+              "print the per-component energy table");
+  parser.flag("phases", &phases, "print energy per labelled program phase");
+  parser.opt_double("coupling", &coupling_ff,
+                    "adjacent-line bus coupling, fF");
+  parser.opt_u64("max-cycles", &max_cycles,
+                 "simulation budget (default 50M)");
+  const int parsed = tools::parse_or_usage(parser, argc, argv);
+  if (parsed != 0) return parsed > 0 ? 1 : 0;
 
   std::ifstream in(source_path);
   if (!in) {
@@ -96,11 +56,8 @@ int main(int argc, char** argv) {
   buffer << in.rdbuf();
 
   try {
-    const energy::TechParams params =
-        coupling_ff > 0.0
-            ? energy::TechParams::smartcard_025um_with_coupling(coupling_ff *
-                                                                1e-15)
-            : energy::TechParams::smartcard_025um();
+    const compiler::Policy policy = tools::to_policy(policy_name);
+    const energy::TechParams params = tools::tech_params(coupling_ff);
     const auto pipeline =
         core::MaskingPipeline::from_source(buffer.str(), policy, params);
 
@@ -166,6 +123,7 @@ int main(int argc, char** argv) {
       for (std::size_t i = 0; i < trace.size(); ++i) {
         csv.write_row({static_cast<double>(i), trace[i]});
       }
+      csv.flush();
       std::printf("trace     : %s (%zu samples)\n", trace_path.c_str(),
                   trace.size());
     }

@@ -1,0 +1,47 @@
+// Helpers shared by the emask-* command-line tools.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "compiler/masking.hpp"
+#include "energy/params.hpp"
+#include "util/argparse.hpp"
+
+namespace emask::tools {
+
+inline const char* kPolicyChoices[] = {"original", "selective",
+                                       "naive_loadstore", "all_secure"};
+
+/// Maps a validated --policy choice string to the enum.
+inline compiler::Policy to_policy(const std::string& name) {
+  for (const compiler::Policy p :
+       {compiler::Policy::kOriginal, compiler::Policy::kSelective,
+        compiler::Policy::kNaiveLoadStore, compiler::Policy::kAllSecure}) {
+    if (name == compiler::policy_name(p)) return p;
+  }
+  throw util::ArgError("--policy: invalid value '" + name + "'");
+}
+
+/// The calibrated smart-card parameters, with optional bus coupling (fF).
+inline energy::TechParams tech_params(double coupling_ff) {
+  return coupling_ff > 0.0
+             ? energy::TechParams::smartcard_025um_with_coupling(coupling_ff *
+                                                                 1e-15)
+             : energy::TechParams::smartcard_025um();
+}
+
+/// Standard tool prologue: parse argv, print usage+message on error.
+/// Returns 0 to continue, 1 on a usage error, -1 when --help was handled
+/// (exit 0).
+inline int parse_or_usage(const util::ArgParser& parser, int argc,
+                          char** argv) {
+  try {
+    return parser.parse(argc, argv) ? 0 : -1;
+  } catch (const util::ArgError& e) {
+    std::fprintf(stderr, "%s\n%s", e.what(), parser.usage().c_str());
+    return 1;
+  }
+}
+
+}  // namespace emask::tools
