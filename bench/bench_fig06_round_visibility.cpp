@@ -3,7 +3,6 @@
 // rounds to a single-trace SPA attacker.
 #include "analysis/spa.hpp"
 #include "bench_common.hpp"
-#include "util/csv.hpp"
 
 using namespace emask;
 
@@ -17,7 +16,7 @@ int main() {
 
   const std::size_t window = 100;
   const analysis::Trace profile = run.trace.windowed_average(window);
-  util::CsvWriter csv(bench::out_dir() + "/fig06_energy_trace.csv");
+  bench::SeriesWriter csv("fig06_energy_trace");
   csv.write_header({"cycle", "energy_pj_per_cycle"});
   for (std::size_t i = 0; i < profile.size(); ++i) {
     csv.write_row({static_cast<double>(i * window), profile[i]});

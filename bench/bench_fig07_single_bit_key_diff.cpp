@@ -3,7 +3,6 @@
 // flipping a single key bit produces a visible differential trace already
 // in round 1.
 #include "bench_common.hpp"
-#include "util/csv.hpp"
 
 using namespace emask;
 
@@ -20,7 +19,7 @@ int main() {
   const bench::Window round1 = bench::round_window(pipeline.program(), 1);
   const analysis::Trace round1_diff = diff.slice(round1.begin, round1.end);
 
-  util::CsvWriter csv(bench::out_dir() + "/fig07_key_bit_diff_round1.csv");
+  bench::SeriesWriter csv("fig07_key_bit_diff_round1");
   csv.write_header({"cycle", "diff_pj"});
   for (std::size_t i = 0; i < round1_diff.size(); ++i) {
     csv.write_row({static_cast<double>(round1.begin + i), round1_diff[i]});

@@ -2,7 +2,6 @@
 // two different keys before masking process" (first round shown for
 // clarity, as in the paper).
 #include "bench_common.hpp"
-#include "util/csv.hpp"
 #include "util/rng.hpp"
 
 using namespace emask;
@@ -22,7 +21,7 @@ int main() {
   const bench::Window round1 = bench::round_window(pipeline.program(), 1);
   const analysis::Trace round1_diff = diff.slice(round1.begin, round1.end);
 
-  util::CsvWriter csv(bench::out_dir() + "/fig08_key_diff_before.csv");
+  bench::SeriesWriter csv("fig08_key_diff_before");
   csv.write_header({"cycle", "diff_pj"});
   for (std::size_t i = 0; i < round1_diff.size(); ++i) {
     csv.write_row({static_cast<double>(round1.begin + i), round1_diff[i]});

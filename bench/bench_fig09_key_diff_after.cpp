@@ -2,7 +2,6 @@
 // two different keys after masking process" — with the compiler-selected
 // secure instructions, the round-1 differential is identically flat.
 #include "bench_common.hpp"
-#include "util/csv.hpp"
 #include "util/rng.hpp"
 
 using namespace emask;
@@ -22,7 +21,7 @@ int main() {
   const bench::Window round1 = bench::round_window(pipeline.program(), 1);
   const analysis::Trace round1_diff = diff.slice(round1.begin, round1.end);
 
-  util::CsvWriter csv(bench::out_dir() + "/fig09_key_diff_after.csv");
+  bench::SeriesWriter csv("fig09_key_diff_after");
   csv.write_header({"cycle", "diff_pj"});
   for (std::size_t i = 0; i < round1_diff.size(); ++i) {
     csv.write_row({static_cast<double>(round1.begin + i), round1_diff[i]});

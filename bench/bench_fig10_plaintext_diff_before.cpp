@@ -1,7 +1,6 @@
 // Figure 10: "Difference between energy consumption profiles generated
 // using two different plaintexts before masking process."
 #include "bench_common.hpp"
-#include "util/csv.hpp"
 
 using namespace emask;
 
@@ -15,7 +14,7 @@ int main() {
   const auto r2 = pipeline.run_des(bench::kKey, bench::kPlain2);
   const analysis::Trace diff = r1.trace.difference(r2.trace);
 
-  util::CsvWriter csv(bench::out_dir() + "/fig10_plaintext_diff_before.csv");
+  bench::SeriesWriter csv("fig10_plaintext_diff_before");
   csv.write_header({"cycle", "diff_pj"});
   for (std::size_t i = 0; i < diff.size(); ++i) {
     csv.write_row({static_cast<double>(i), diff[i]});

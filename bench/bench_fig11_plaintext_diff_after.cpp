@@ -5,7 +5,6 @@
 // the difference"), so its region still differs; the sixteen secured rounds
 // are flat.
 #include "bench_common.hpp"
-#include "util/csv.hpp"
 
 using namespace emask;
 
@@ -21,7 +20,7 @@ int main() {
   const auto r2 = pipeline.run_des(bench::kKey, bench::kPlain2);
   const analysis::Trace diff = r1.trace.difference(r2.trace);
 
-  util::CsvWriter csv(bench::out_dir() + "/fig11_plaintext_diff_after.csv");
+  bench::SeriesWriter csv("fig11_plaintext_diff_after");
   csv.write_header({"cycle", "diff_pj"});
   for (std::size_t i = 0; i < diff.size(); ++i) {
     csv.write_row({static_cast<double>(i), diff[i]});

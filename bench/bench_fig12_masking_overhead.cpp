@@ -5,7 +5,6 @@
 // overhead is paid even where the differential profile showed no difference
 // ("we need to be conservative to account for all possible inputs").
 #include "bench_common.hpp"
-#include "util/csv.hpp"
 
 using namespace emask;
 
@@ -30,7 +29,7 @@ int main() {
   const std::size_t end = rounds.empty() ? overhead.size() : rounds.front();
   const analysis::Trace region = overhead.slice(begin, end);
 
-  util::CsvWriter csv(bench::out_dir() + "/fig12_masking_overhead.csv");
+  bench::SeriesWriter csv("fig12_masking_overhead");
   csv.write_header({"cycle", "overhead_pj"});
   for (std::size_t i = 0; i < region.size(); ++i) {
     csv.write_row({static_cast<double>(begin + i), region[i]});

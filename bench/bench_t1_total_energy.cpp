@@ -11,7 +11,6 @@
 // approaches employing dual rail circuits."
 #include "bench_common.hpp"
 #include "compiler/masking.hpp"
-#include "util/csv.hpp"
 
 using namespace emask;
 
@@ -30,7 +29,7 @@ int main() {
       {compiler::Policy::kAllSecure, 83.5},
   };
 
-  util::CsvWriter csv(bench::out_dir() + "/t1_total_energy.csv");
+  bench::SeriesWriter csv("t1_total_energy");
   csv.write_header({"policy", "measured_uj", "measured_ratio", "paper_uj",
                     "paper_ratio"});
 

@@ -1,10 +1,12 @@
 #include "campaign/manifest.hpp"
 
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 
 #include "util/argparse.hpp"
+#include "util/csv.hpp"
 #include "util/ini.hpp"
 #include "util/json.hpp"
 
@@ -152,17 +154,25 @@ std::string git_describe() {
 
 void write_manifest(const std::string& path, const CampaignSpec& spec,
                     const std::vector<ScenarioOutcome>& outcomes,
-                    const std::string& git_version) {
+                    const std::string& git_version, const ShardSpec* shard) {
+  const bool sharded = shard != nullptr && shard->sharded();
   std::ofstream file(path);
   if (!file) throw std::runtime_error("cannot write manifest " + path);
   JsonWriter j(file);
   j.begin_object();
   j.key("format");
-  j.value("emask-campaign-manifest-v1");
+  j.value(sharded ? "emask-campaign-shard-manifest-v1"
+                  : "emask-campaign-manifest-v1");
   j.key("campaign");
   j.value(spec.name);
   j.key("spec_hash");
   j.value(spec.hash);
+  if (sharded) {
+    j.key("shard_index");
+    j.value(static_cast<std::uint64_t>(shard->index));
+    j.key("shard_count");
+    j.value(static_cast<std::uint64_t>(shard->count));
+  }
   j.key("generator");
   j.value(git_version);
   j.key("seed");
@@ -175,8 +185,8 @@ void write_manifest(const std::string& path, const CampaignSpec& spec,
   j.value(static_cast<std::uint64_t>(spec.window_begin));
   j.key("window_end");
   j.value(static_cast<std::uint64_t>(spec.window_end));
-  j.key("timings");
-  j.value("timings.json");  // wall-clock lives there, outside byte-identity
+  j.key("timings");  // wall-clock lives there, outside byte-identity
+  j.value(sharded ? "timings." + shard->label() + ".json" : "timings.json");
   j.key("scenario_count");
   j.value(static_cast<std::uint64_t>(outcomes.size()));
 
@@ -290,6 +300,48 @@ void write_manifest(const std::string& path, const CampaignSpec& spec,
   j.finish();
   file.flush();
   if (!file) throw std::runtime_error("write failure on " + path);
+}
+
+ScenarioResult scenario_result_from_json(const util::JsonValue& result) {
+  // Doubles that were emitted as null (non-finite) load back as NaN so a
+  // re-serialization produces null again.
+  const auto as_double_or_nan = [](const util::JsonValue& v) {
+    return v.is_null() ? std::nan("") : v.as_double();
+  };
+  ScenarioResult r;
+  r.encryptions = result.at("encryptions").as_u64();
+  r.total_cycles = result.at("total_cycles").as_u64();
+  r.total_instructions = result.at("total_instructions").as_u64();
+  r.total_energy_uj = as_double_or_nan(result.at("total_energy_uj"));
+  r.secured_count = result.at("secured_count").as_u64();
+  r.program_instructions = result.at("program_instructions").as_u64();
+  r.metric = as_double_or_nan(result.at("metric"));
+  r.best_guess = static_cast<int>(result.at("best_guess").as_int());
+  r.true_value = static_cast<int>(result.at("true_value").as_int());
+  r.success = result.at("success").as_bool();
+  r.margin = as_double_or_nan(result.at("margin"));
+  r.cycles_over_threshold = result.at("cycles_over_threshold").as_u64();
+  return r;
+}
+
+void write_summary_csv(const std::string& path,
+                       const std::vector<ScenarioOutcome>& outcomes) {
+  const auto fmt = [](double v) { return JsonWriter::format_double(v); };
+  util::CsvWriter summary(path);
+  summary.write_header({"id", "cipher", "policy", "analysis",
+                        "noise_sigma_pj", "traces", "coupling_ff", "mean_uj",
+                        "metric", "success", "margin"});
+  for (const ScenarioOutcome& o : outcomes) {
+    const Scenario& s = o.scenario;
+    summary.write_row({s.id, std::string(cipher_name(s.cipher)),
+                       std::string(compiler::policy_name(s.policy)),
+                       std::string(analysis_name(s.analysis)),
+                       fmt(s.noise_sigma_pj), std::to_string(s.traces),
+                       fmt(s.coupling_ff), fmt(o.result.mean_uj()),
+                       fmt(o.result.metric), o.result.success ? "1" : "0",
+                       fmt(o.result.margin)});
+  }
+  summary.flush();
 }
 
 void write_timings(const std::string& path,

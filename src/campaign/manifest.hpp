@@ -24,6 +24,10 @@
 
 #include "campaign/spec.hpp"
 
+namespace emask::util {
+struct JsonValue;
+}
+
 namespace emask::campaign {
 
 /// Deterministic outcome of one scenario (plus the wall-clock fields that
@@ -75,10 +79,30 @@ void save_checkpoint(const std::string& path, const Scenario& scenario,
                                    const std::string& spec_hash,
                                    ScenarioResult* out);
 
-/// Writes the deterministic results manifest.
+/// Writes the deterministic results manifest.  With a sharded `shard`,
+/// writes the per-shard variant instead: format
+/// "emask-campaign-shard-manifest-v1" with `shard_index`/`shard_count`
+/// fields, covering only the shard's outcomes.  The document layout is
+/// otherwise identical, so the merged whole-matrix manifest is produced by
+/// the same code path (shard == nullptr or unsharded).
 void write_manifest(const std::string& path, const CampaignSpec& spec,
                     const std::vector<ScenarioOutcome>& outcomes,
-                    const std::string& git_version);
+                    const std::string& git_version,
+                    const ShardSpec* shard = nullptr);
+
+/// Reads one manifest "result" object back into a ScenarioResult (the
+/// inverse of the scenario block write_manifest emits).  Numbers
+/// round-trip bit-exactly ("%.17g" doubles, raw integer tokens); a `null`
+/// metric/margin (the JSON encoding of a non-finite double) loads as NaN.
+/// Throws util::JsonError on missing keys or type mismatches.
+[[nodiscard]] ScenarioResult scenario_result_from_json(
+    const util::JsonValue& result);
+
+/// Writes the deterministic per-scenario summary table (one row per
+/// outcome, in matrix order).  Shared by the runner and the shard merge so
+/// both emit byte-identical summaries.
+void write_summary_csv(const std::string& path,
+                       const std::vector<ScenarioOutcome>& outcomes);
 
 /// Writes wall-time / throughput observability (non-deterministic).
 void write_timings(const std::string& path,

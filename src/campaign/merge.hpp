@@ -1,0 +1,57 @@
+// Shard-manifest merge: reassembles a distributed campaign into the
+// single-machine result.
+//
+// A sharded campaign runs `emask-campaign run SPEC --shard=i/N` on N
+// machines (or build dirs), each producing an output directory with a
+// verbatim spec.ini, per-scenario artifacts/checkpoints for the scenarios
+// the shard owns, and a `manifest.shard-i-of-N.json`.  `merge_shards`
+// takes those directories and emits a whole-matrix `manifest.json` (plus
+// `summary.csv`, and `timings.json` when every shard's timings file is
+// present) that is **byte-identical** to what one machine running the
+// whole spec would have written — the provenance contract that makes a
+// distributed sweep as trustworthy as a local one.
+//
+// Validation is strict and the errors are specific, because a merge that
+// silently mixes incompatible shards would forge provenance:
+//   * every directory must hold a spec.ini whose FNV-1a hash matches the
+//     first one (same spec text, not merely the same name);
+//   * every shard manifest must carry the shard format marker, the same
+//     spec hash, and the same shard count N;
+//   * the shard set must be disjoint and complete — a duplicate shard
+//     index, a missing index, a scenario claimed by a shard that does not
+//     own it, a scenario listed twice, an unknown scenario id, and a
+//     scenario the owning shard never completed are each distinct errors.
+//
+// All merge failures throw SpecError; malformed JSON surfaces as
+// util::JsonError with the offending file prefixed.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "campaign/manifest.hpp"
+#include "campaign/spec.hpp"
+
+namespace emask::campaign {
+
+struct MergeOptions {
+  /// Shard output directories, each from `run --shard=i/N`.  Order is
+  /// irrelevant; one directory may hold several shards of the same spec.
+  std::vector<std::string> shard_dirs;
+  std::string out_dir;
+  bool quiet = false;
+};
+
+struct MergeReport {
+  std::size_t shard_count = 0;  // N
+  std::size_t scenarios = 0;    // whole-matrix scenario count
+  bool timings_merged = false;  // all shard timings files were present
+};
+
+/// Validates the shard set and writes the merged manifest.json /
+/// summary.csv (and timings.json when possible) into out_dir.  Throws
+/// SpecError on any incompatibility.
+MergeReport merge_shards(const MergeOptions& options);
+
+}  // namespace emask::campaign

@@ -369,7 +369,24 @@ ScenarioResult CampaignRunner::execute(const Scenario& s,
 }
 
 CampaignReport CampaignRunner::run() {
-  const std::vector<Scenario> scenarios = spec_.expand();
+  const std::vector<Scenario> matrix = spec_.expand();
+  const ShardSpec& shard = options_.shard;
+  if (shard.index >= shard.count) {
+    throw SpecError("shard: index " + std::to_string(shard.index) +
+                    " out of range for N=" + std::to_string(shard.count));
+  }
+  std::vector<Scenario> scenarios;
+  for (const Scenario& s : matrix) {
+    if (shard.owns(s.index)) scenarios.push_back(s);
+  }
+  if (scenarios.empty()) {
+    throw SpecError("--shard=" + std::to_string(shard.index) + "/" +
+                    std::to_string(shard.count) +
+                    " owns no scenarios (matrix has " +
+                    std::to_string(matrix.size()) + ")");
+  }
+  // Checkpoints are valid only under the partition that wrote them.
+  const std::string guard_hash = shard.checkpoint_hash(spec_.hash);
   const fs::path out(options_.out_dir);
   fs::create_directories(out / "scenarios");
   fs::create_directories(out / "checkpoints");
@@ -398,31 +415,32 @@ CampaignReport CampaignRunner::run() {
   CampaignReport report;
   report.total_scenarios = scenarios.size();
   for (const Scenario& s : scenarios) {
+    const std::size_t position = report.outcomes.size() + 1;
     const std::string checkpoint =
         (out / "checkpoints" / (s.id + ".ini")).string();
     const std::string dir = (out / "scenarios" / s.id).string();
     ScenarioOutcome outcome;
     outcome.scenario = s;
     if (options_.resume &&
-        load_checkpoint(checkpoint, s, spec_.hash, &outcome.result) &&
+        load_checkpoint(checkpoint, s, guard_hash, &outcome.result) &&
         fs::exists(dir + "/result.csv")) {
       outcome.resumed = true;
       ++report.resumed;
       if (!options_.quiet) {
-        std::printf("[%zu/%zu] %s: resumed from checkpoint\n", s.index + 1,
+        std::printf("[%zu/%zu] %s: resumed from checkpoint\n", position,
                     scenarios.size(), s.id.c_str());
       }
     } else {
       if (options_.limit != 0 && report.executed >= options_.limit) break;
       fs::create_directories(dir);
       outcome.result = execute(s, dir);
-      save_checkpoint(checkpoint, s, outcome.result, spec_.hash);
+      save_checkpoint(checkpoint, s, outcome.result, guard_hash);
       ++report.executed;
       if (!options_.quiet) {
         std::printf(
             "[%zu/%zu] %s: %llu enc, %.3f uJ/enc, metric %.4f%s (%.2fs, %zu "
             "threads)\n",
-            s.index + 1, scenarios.size(), s.id.c_str(),
+            position, scenarios.size(), s.id.c_str(),
             static_cast<unsigned long long>(outcome.result.encryptions),
             outcome.result.mean_uj(), outcome.result.metric,
             outcome.result.success ? "" : " [FAILED]",
@@ -443,25 +461,14 @@ CampaignReport CampaignRunner::run() {
     return report;
   }
 
-  write_manifest((out / "manifest.json").string(), spec_, report.outcomes,
-                 git_describe());
-  write_timings((out / "timings.json").string(), report.outcomes);
-
-  util::CsvWriter summary((out / "summary.csv").string());
-  summary.write_header({"id", "cipher", "policy", "analysis",
-                        "noise_sigma_pj", "traces", "coupling_ff", "mean_uj",
-                        "metric", "success", "margin"});
-  for (const ScenarioOutcome& o : report.outcomes) {
-    const Scenario& s = o.scenario;
-    summary.write_row({s.id, std::string(cipher_name(s.cipher)),
-                       std::string(compiler::policy_name(s.policy)),
-                       std::string(analysis_name(s.analysis)),
-                       fmt(s.noise_sigma_pj), std::to_string(s.traces),
-                       fmt(s.coupling_ff), fmt(o.result.mean_uj()),
-                       fmt(o.result.metric), o.result.success ? "1" : "0",
-                       fmt(o.result.margin)});
-  }
-  summary.flush();
+  const std::string suffix =
+      shard.sharded() ? "." + shard.label() : std::string();
+  write_manifest((out / ("manifest" + suffix + ".json")).string(), spec_,
+                 report.outcomes, git_describe(), &shard);
+  write_timings((out / ("timings" + suffix + ".json")).string(),
+                report.outcomes);
+  write_summary_csv((out / ("summary" + suffix + ".csv")).string(),
+                    report.outcomes);
   if (!options_.quiet) print_summary(spec_, report, stdout);
   return report;
 }

@@ -23,6 +23,15 @@
 // are only written when every scenario is complete, so an interrupted
 // campaign resumed to completion produces a manifest byte-identical to an
 // uninterrupted run.
+//
+// Sharded runs (`--shard=i/N`, see ShardSpec) execute only the scenarios
+// the shard owns and emit manifest.<shard>.json / timings.<shard>.json /
+// summary.<shard>.csv instead of the whole-matrix files; `emask-campaign
+// merge` reassembles N such directories into a manifest.json byte-identical
+// to a single-machine run.  Checkpoints are guarded by the shard-folded
+// spec hash, so a checkpoint written under a different partition (or
+// unsharded) never satisfies a sharded --resume.  Per-scenario artifacts
+// keep their normal paths — shards own disjoint scenario sets.
 #pragma once
 
 #include <cstdio>
@@ -45,6 +54,8 @@ struct RunnerOptions {
   std::size_t limit = 0;
   /// Suppress per-scenario progress output.
   bool quiet = false;
+  /// Partition of the scenario matrix this run executes (default: all).
+  ShardSpec shard;
 };
 
 struct CampaignReport {

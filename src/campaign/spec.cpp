@@ -131,6 +131,40 @@ std::string fnv1a_hex(const std::string& text) {
   return buf;
 }
 
+std::string ShardSpec::label() const {
+  return "shard-" + std::to_string(index) + "-of-" + std::to_string(count);
+}
+
+std::string ShardSpec::checkpoint_hash(const std::string& spec_hash) const {
+  if (!sharded()) return spec_hash;
+  return fnv1a_hex(spec_hash + "#shard=" + std::to_string(index) + "/" +
+                   std::to_string(count));
+}
+
+ShardSpec ShardSpec::parse(const std::string& text) {
+  const std::size_t slash = text.find('/');
+  if (slash == std::string::npos || slash == 0 ||
+      slash + 1 >= text.size()) {
+    throw SpecError("shard: expected i/N (e.g. 0/4), got '" + text + "'");
+  }
+  ShardSpec shard;
+  try {
+    shard.index = static_cast<std::size_t>(
+        ArgParser::parse_u64(text.substr(0, slash), "shard index"));
+    shard.count = static_cast<std::size_t>(
+        ArgParser::parse_u64(text.substr(slash + 1), "shard count"));
+  } catch (const util::ArgError& e) {
+    throw SpecError(std::string("shard: ") + e.what());
+  }
+  if (shard.count == 0) throw SpecError("shard: N must be >= 1");
+  if (shard.index >= shard.count) {
+    throw SpecError("shard: index " + std::to_string(shard.index) +
+                    " out of range for N=" + std::to_string(shard.count) +
+                    " (need 0 <= i < N)");
+  }
+  return shard;
+}
+
 void apply_tech_override(energy::TechParams& params, const std::string& name,
                          double value) {
   struct Field {

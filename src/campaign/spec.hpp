@@ -109,6 +109,36 @@ struct CampaignSpec {
   [[nodiscard]] std::vector<Scenario> expand() const;
 };
 
+/// Deterministic partition of the scenario matrix for distributed runs
+/// (`--shard=i/N`).  Shard i of N owns every scenario whose canonical
+/// expansion index satisfies `index % N == i` — a stable round-robin over
+/// the cell ordering, so the shards are balanced across the matrix and the
+/// partition depends only on the spec text, never on thread count or
+/// execution order.  The default (0/1) is the unsharded whole matrix.
+struct ShardSpec {
+  std::size_t index = 0;
+  std::size_t count = 1;
+
+  [[nodiscard]] bool sharded() const { return count > 1; }
+  [[nodiscard]] bool owns(std::size_t scenario_index) const {
+    return scenario_index % count == index;
+  }
+
+  /// "shard-i-of-N" — the suffix used for per-shard output files.
+  [[nodiscard]] std::string label() const;
+
+  /// The checkpoint guard hash for this partition: the spec hash itself
+  /// when unsharded, otherwise the spec hash with the shard parameters
+  /// folded in.  A checkpoint written under a different partition (or by a
+  /// single-machine run) therefore never satisfies a sharded --resume.
+  [[nodiscard]] std::string checkpoint_hash(
+      const std::string& spec_hash) const;
+
+  /// Parses "i/N" (e.g. "0/4"); requires N >= 1 and i < N.  Throws
+  /// SpecError with a precise message otherwise.
+  [[nodiscard]] static ShardSpec parse(const std::string& text);
+};
+
 /// Sets TechParams field `name` to `value`; throws SpecError for an
 /// unknown field name.
 void apply_tech_override(energy::TechParams& params, const std::string& name,

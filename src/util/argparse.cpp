@@ -103,6 +103,12 @@ void ArgParser::positional(const std::string& value_name, std::string* out,
   positionals_.push_back({value_name, help, required, out});
 }
 
+void ArgParser::positional_rest(const std::string& value_name,
+                                std::vector<std::string>* out,
+                                const std::string& help) {
+  rest_.push_back({value_name, help, out});
+}
+
 bool ArgParser::parse(int argc, char** argv) const {
   std::size_t next_positional = 0;
   for (int i = 1; i < argc; ++i) {
@@ -132,10 +138,13 @@ bool ArgParser::parse(int argc, char** argv) const {
         option->apply("");
       }
     } else {
-      if (next_positional >= positionals_.size()) {
+      if (next_positional < positionals_.size()) {
+        *positionals_[next_positional++].out = arg;
+      } else if (!rest_.empty()) {
+        rest_.front().out->push_back(arg);
+      } else {
         throw ArgError(program_ + ": unexpected argument '" + arg + "'");
       }
-      *positionals_[next_positional++].out = arg;
     }
   }
   for (std::size_t p = next_positional; p < positionals_.size(); ++p) {
@@ -157,6 +166,12 @@ std::string ArgParser::usage() const {
     for (std::size_t pad = p.value_name.size() + 4; pad < 26; ++pad)
       out << ' ';
     out << p.help << (p.required ? "" : " (optional)") << '\n';
+  }
+  for (const RestPositional& p : rest_) {
+    out << "  <" << p.value_name << ">...";
+    for (std::size_t pad = p.value_name.size() + 7; pad < 26; ++pad)
+      out << ' ';
+    out << p.help << '\n';
   }
   for (const Option& o : options_) {
     std::string lhs = "--" + o.name;

@@ -63,6 +63,14 @@ class ArgParser {
   void positional(const std::string& value_name, std::string* out,
                   bool required, const std::string& help);
 
+  /// Variadic tail positional: every non-option argument left after the
+  /// fixed positionals are filled is appended to `out` (shown as
+  /// "<name>..." in usage).  At most one may be registered, and arity
+  /// requirements beyond zero-or-more are the caller's to enforce.
+  void positional_rest(const std::string& value_name,
+                       std::vector<std::string>* out,
+                       const std::string& help);
+
   /// Parses argv.  Returns false when --help was handled (usage already
   /// printed to stdout; the caller should exit 0).  Throws ArgError on any
   /// malformed input.
@@ -95,6 +103,11 @@ class ArgParser {
     bool required = false;
     std::string* out = nullptr;
   };
+  struct RestPositional {
+    std::string value_name;
+    std::string help;
+    std::vector<std::string>* out = nullptr;
+  };
 
   void add(Option option);
   [[nodiscard]] const Option* find(const std::string& name) const;
@@ -103,6 +116,7 @@ class ArgParser {
   std::string synopsis_;
   std::vector<Option> options_;
   std::vector<Positional> positionals_;
+  std::vector<RestPositional> rest_;  // zero or one entries
 };
 
 }  // namespace emask::util

@@ -1,11 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 
 #include "campaign/manifest.hpp"
+#include "campaign/merge.hpp"
 #include "campaign/runner.hpp"
 #include "campaign/spec.hpp"
 
@@ -287,6 +290,335 @@ TEST(Runner, InterruptedResumeIsByteIdentical) {
     }
   }
   fs::remove_all(base);
+}
+
+// ---------------------------------------------------------------- sharding
+
+TEST(Shard, ParsesAndValidates) {
+  const ShardSpec s = ShardSpec::parse("2/5");
+  EXPECT_EQ(s.index, 2u);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_TRUE(s.sharded());
+  EXPECT_EQ(s.label(), "shard-2-of-5");
+  EXPECT_FALSE(ShardSpec{}.sharded());
+  EXPECT_THROW((void)ShardSpec::parse(""), SpecError);
+  EXPECT_THROW((void)ShardSpec::parse("2"), SpecError);
+  EXPECT_THROW((void)ShardSpec::parse("a/b"), SpecError);
+  EXPECT_THROW((void)ShardSpec::parse("1/0"), SpecError);
+  EXPECT_THROW((void)ShardSpec::parse("5/5"), SpecError);
+  EXPECT_THROW((void)ShardSpec::parse("-1/4"), SpecError);
+}
+
+TEST(Shard, PartitionIsDisjointCompleteAndStable) {
+  // Every scenario index lands in exactly one shard, and ownership is a
+  // pure function of (index, N) — nothing about execution order or thread
+  // count enters the partition.
+  for (const std::size_t n : {1u, 2u, 3u, 7u}) {
+    for (std::size_t index = 0; index < 29; ++index) {
+      std::size_t owners = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        ShardSpec shard;
+        shard.index = i;
+        shard.count = n;
+        if (shard.owns(index)) ++owners;
+      }
+      EXPECT_EQ(owners, 1u) << "index " << index << " N=" << n;
+    }
+  }
+}
+
+TEST(Shard, CheckpointHashIsPartitionSpecific) {
+  const std::string spec_hash = "deadbeefdeadbeef";
+  EXPECT_EQ(ShardSpec{}.checkpoint_hash(spec_hash), spec_hash);
+  ShardSpec a = ShardSpec::parse("0/2");
+  ShardSpec b = ShardSpec::parse("1/2");
+  ShardSpec c = ShardSpec::parse("0/3");
+  EXPECT_NE(a.checkpoint_hash(spec_hash), spec_hash);
+  EXPECT_NE(a.checkpoint_hash(spec_hash), b.checkpoint_hash(spec_hash));
+  EXPECT_NE(a.checkpoint_hash(spec_hash), c.checkpoint_hash(spec_hash));
+  // Same partition, same guard — resume within a shard still works.
+  EXPECT_EQ(a.checkpoint_hash(spec_hash),
+            ShardSpec::parse("0/2").checkpoint_hash(spec_hash));
+}
+
+TEST(Checkpoint, OtherPartitionsCheckpointIsStale) {
+  const fs::path dir = fs::path(::testing::TempDir()) / "emask_shard_ckpt";
+  fs::create_directories(dir);
+  Scenario s;
+  s.id = "0000-des-original-energy-n0-t1-c0";
+  ScenarioResult r;
+  r.encryptions = 1;
+  const std::string spec_hash = "deadbeefdeadbeef";
+  const fs::path path = dir / "ckpt.ini";
+  // A single-machine checkpoint must not satisfy a sharded resume...
+  save_checkpoint(path.string(), s, r, spec_hash);
+  ScenarioResult loaded;
+  EXPECT_FALSE(load_checkpoint(
+      path.string(), s, ShardSpec::parse("0/2").checkpoint_hash(spec_hash),
+      &loaded));
+  // ...and a shard's checkpoint must not leak into another partition.
+  const std::string guard = ShardSpec::parse("0/2").checkpoint_hash(spec_hash);
+  save_checkpoint(path.string(), s, r, guard);
+  EXPECT_TRUE(load_checkpoint(path.string(), s, guard, &loaded));
+  EXPECT_FALSE(load_checkpoint(
+      path.string(), s, ShardSpec::parse("1/2").checkpoint_hash(spec_hash),
+      &loaded));
+  EXPECT_FALSE(load_checkpoint(path.string(), s, spec_hash, &loaded));
+  fs::remove_all(dir);
+}
+
+constexpr const char* kMatrix4Spec =
+    "[campaign]\n"
+    "name = shard_test\n"
+    "window_end = 4000\n"
+    "[axes]\n"
+    "policy = original, selective\n"
+    "analysis = energy, tvla\n"
+    "traces = 4\n";
+
+TEST(Runner, ShardedMergeIsByteIdenticalToUnsharded) {
+  const CampaignSpec spec = CampaignSpec::parse(kMatrix4Spec);
+  const fs::path base = fs::path(::testing::TempDir()) / "emask_shard_merge";
+  fs::remove_all(base);
+
+  RunnerOptions full;
+  full.out_dir = (base / "full").string();
+  full.jobs = 2;
+  full.quiet = true;
+  EXPECT_TRUE(CampaignRunner(spec, full).run().complete);
+
+  // Shard 0 straight through; shard 1 interrupted after one scenario and
+  // resumed — with different thread counts everywhere, since neither the
+  // partition nor the manifest may depend on scheduling.
+  RunnerOptions s0 = full;
+  s0.out_dir = (base / "s0").string();
+  s0.jobs = 1;
+  s0.shard = ShardSpec::parse("0/2");
+  const CampaignReport r0 = CampaignRunner(spec, s0).run();
+  EXPECT_TRUE(r0.complete);
+  EXPECT_EQ(r0.total_scenarios, 2u);
+
+  RunnerOptions s1 = full;
+  s1.out_dir = (base / "s1").string();
+  s1.jobs = 2;
+  s1.shard = ShardSpec::parse("1/2");
+  s1.limit = 1;
+  EXPECT_FALSE(CampaignRunner(spec, s1).run().complete);
+  EXPECT_FALSE(fs::exists(base / "s1" / "manifest.shard-1-of-2.json"));
+  s1.limit = 0;
+  s1.resume = true;
+  s1.jobs = 1;
+  const CampaignReport r1 = CampaignRunner(spec, s1).run();
+  EXPECT_TRUE(r1.complete);
+  EXPECT_EQ(r1.resumed, 1u);
+  EXPECT_EQ(r1.executed, 1u);
+  EXPECT_TRUE(fs::exists(base / "s1" / "manifest.shard-1-of-2.json"));
+
+  MergeOptions merge;
+  merge.shard_dirs = {(base / "s0").string(), (base / "s1").string()};
+  merge.out_dir = (base / "merged").string();
+  merge.quiet = true;
+  const MergeReport report = merge_shards(merge);
+  EXPECT_EQ(report.shard_count, 2u);
+  EXPECT_EQ(report.scenarios, 4u);
+  EXPECT_TRUE(report.timings_merged);
+
+  EXPECT_EQ(read_file(base / "merged" / "manifest.json"),
+            read_file(base / "full" / "manifest.json"));
+  EXPECT_EQ(read_file(base / "merged" / "summary.csv"),
+            read_file(base / "full" / "summary.csv"));
+  EXPECT_TRUE(fs::exists(base / "merged" / "timings.json"));
+  fs::remove_all(base);
+}
+
+TEST(Runner, ShardedResumeIgnoresUnshardedCheckpoints) {
+  const CampaignSpec spec = CampaignSpec::parse(kMinimalSpec);
+  const fs::path dir = fs::path(::testing::TempDir()) / "emask_shard_guard";
+  fs::remove_all(dir);
+  RunnerOptions options;
+  options.out_dir = dir.string();
+  options.quiet = true;
+  EXPECT_TRUE(CampaignRunner(spec, options).run().complete);
+  // The single-machine checkpoint exists, but a sharded --resume runs under
+  // a different partition guard and must re-simulate.
+  options.resume = true;
+  options.shard = ShardSpec::parse("0/2");
+  const CampaignReport report = CampaignRunner(spec, options).run();
+  EXPECT_TRUE(report.complete);
+  EXPECT_EQ(report.resumed, 0u);
+  EXPECT_EQ(report.executed, 1u);
+  fs::remove_all(dir);
+}
+
+TEST(Runner, ShardOwningNoScenariosIsError) {
+  const CampaignSpec spec = CampaignSpec::parse(kMinimalSpec);  // 1 scenario
+  RunnerOptions options;
+  options.out_dir =
+      (fs::path(::testing::TempDir()) / "emask_shard_empty").string();
+  options.quiet = true;
+  options.shard = ShardSpec::parse("1/2");
+  EXPECT_THROW((void)CampaignRunner(spec, options).run(), SpecError);
+  fs::remove_all(options.out_dir);
+}
+
+// ------------------------------------------------------------------ merge
+//
+// The error paths are exercised on crafted shard directories (spec.ini +
+// write_manifest with a ShardSpec) — no simulation needed, and each
+// incompatibility is injected surgically.
+
+std::vector<ScenarioOutcome> owned_outcomes(const std::vector<Scenario>& matrix,
+                                            const ShardSpec& shard) {
+  std::vector<ScenarioOutcome> outcomes;
+  for (const Scenario& s : matrix) {
+    if (!shard.owns(s.index)) continue;
+    ScenarioOutcome o;
+    o.scenario = s;
+    o.result.encryptions = s.index + 1;
+    o.result.total_cycles = (1ull << 60) + s.index;  // above 2^53
+    o.result.total_energy_uj = 68.2166408846 + static_cast<double>(s.index);
+    o.result.metric = s.index == 1 ? std::nan("") :  // null round-trip
+                          static_cast<double>(s.index) / 3.0;
+    o.result.margin = -2.5e-7;
+    o.result.success = true;
+    outcomes.push_back(o);
+  }
+  return outcomes;
+}
+
+void write_shard_dir(const fs::path& dir, const CampaignSpec& spec,
+                     const ShardSpec& shard,
+                     const std::vector<ScenarioOutcome>& outcomes) {
+  fs::create_directories(dir);
+  std::ofstream out(dir / "spec.ini", std::ios::binary);
+  out << spec.text;
+  out.close();
+  write_manifest((dir / ("manifest." + shard.label() + ".json")).string(),
+                 spec, outcomes, git_describe(), &shard);
+}
+
+struct MergeFixture {
+  CampaignSpec spec = CampaignSpec::parse(kMatrix4Spec);
+  std::vector<Scenario> matrix = spec.expand();
+  ShardSpec shard0 = ShardSpec::parse("0/2");
+  ShardSpec shard1 = ShardSpec::parse("1/2");
+  fs::path base;
+  MergeOptions options;
+
+  explicit MergeFixture(const char* name) {
+    base = fs::path(::testing::TempDir()) / name;
+    fs::remove_all(base);
+    options.out_dir = (base / "merged").string();
+    options.quiet = true;
+  }
+  ~MergeFixture() { fs::remove_all(base); }
+
+  void add(const char* dir_name, const ShardSpec& shard,
+           const std::vector<ScenarioOutcome>& outcomes) {
+    write_shard_dir(base / dir_name, spec, shard, outcomes);
+    options.shard_dirs.push_back((base / dir_name).string());
+  }
+};
+
+TEST(Merge, ReassemblesCraftedShardsByteIdentically) {
+  MergeFixture f("emask_merge_ok");
+  f.add("s0", f.shard0, owned_outcomes(f.matrix, f.shard0));
+  f.add("s1", f.shard1, owned_outcomes(f.matrix, f.shard1));
+  const MergeReport report = merge_shards(f.options);
+  EXPECT_EQ(report.shard_count, 2u);
+  EXPECT_EQ(report.scenarios, 4u);
+  EXPECT_FALSE(report.timings_merged);  // crafted dirs carry no timings
+  EXPECT_FALSE(fs::exists(f.base / "merged" / "timings.json"));
+
+  // The merged manifest must byte-match what a single write_manifest over
+  // the whole matrix emits — including the NaN metric, which survives the
+  // JSON round trip as null.
+  std::vector<ScenarioOutcome> whole;
+  for (const ScenarioOutcome& o : owned_outcomes(f.matrix, f.shard0))
+    whole.push_back(o);
+  for (const ScenarioOutcome& o : owned_outcomes(f.matrix, f.shard1))
+    whole.push_back(o);
+  std::sort(whole.begin(), whole.end(),
+            [](const ScenarioOutcome& a, const ScenarioOutcome& b) {
+              return a.scenario.index < b.scenario.index;
+            });
+  const fs::path expected = f.base / "expected_manifest.json";
+  write_manifest(expected.string(), f.spec, whole, git_describe());
+  EXPECT_EQ(read_file(f.base / "merged" / "manifest.json"),
+            read_file(expected));
+  EXPECT_NE(read_file(expected).find("\"metric\": null"), std::string::npos);
+}
+
+TEST(Merge, SpecHashMismatchIsError) {
+  MergeFixture f("emask_merge_hash");
+  f.add("s0", f.shard0, owned_outcomes(f.matrix, f.shard0));
+  const CampaignSpec other =
+      CampaignSpec::parse(std::string(kMatrix4Spec) + "# tweak\n");
+  write_shard_dir(f.base / "s1", other, f.shard1,
+                  owned_outcomes(other.expand(), f.shard1));
+  f.options.shard_dirs.push_back((f.base / "s1").string());
+  EXPECT_THROW((void)merge_shards(f.options), SpecError);
+}
+
+TEST(Merge, MissingShardIsError) {
+  MergeFixture f("emask_merge_missing");
+  f.add("s0", f.shard0, owned_outcomes(f.matrix, f.shard0));
+  EXPECT_THROW((void)merge_shards(f.options), SpecError);
+}
+
+TEST(Merge, DuplicateShardIsError) {
+  MergeFixture f("emask_merge_dup");
+  f.add("s0", f.shard0, owned_outcomes(f.matrix, f.shard0));
+  f.add("s0_again", f.shard0, owned_outcomes(f.matrix, f.shard0));
+  EXPECT_THROW((void)merge_shards(f.options), SpecError);
+}
+
+TEST(Merge, UnshardedDirectoryIsError) {
+  MergeFixture f("emask_merge_unsharded");
+  // A directory holding only an unsharded run: spec.ini + manifest.json.
+  fs::create_directories(f.base / "plain");
+  std::ofstream(f.base / "plain" / "spec.ini") << f.spec.text;
+  write_manifest((f.base / "plain" / "manifest.json").string(), f.spec,
+                 owned_outcomes(f.matrix, ShardSpec{}), git_describe());
+  f.options.shard_dirs.push_back((f.base / "plain").string());
+  EXPECT_THROW((void)merge_shards(f.options), SpecError);
+}
+
+TEST(Merge, UnknownScenarioIsError) {
+  MergeFixture f("emask_merge_unknown");
+  auto outcomes = owned_outcomes(f.matrix, f.shard0);
+  outcomes[0].scenario.id = "9999-not-in-this-matrix";
+  f.add("s0", f.shard0, outcomes);
+  f.add("s1", f.shard1, owned_outcomes(f.matrix, f.shard1));
+  EXPECT_THROW((void)merge_shards(f.options), SpecError);
+}
+
+TEST(Merge, ForeignScenarioIsError) {
+  MergeFixture f("emask_merge_foreign");
+  // Shard 0 claims a scenario that shard 1 owns.
+  auto outcomes = owned_outcomes(f.matrix, f.shard0);
+  outcomes.push_back(owned_outcomes(f.matrix, f.shard1).front());
+  f.add("s0", f.shard0, outcomes);
+  f.add("s1", f.shard1, owned_outcomes(f.matrix, f.shard1));
+  EXPECT_THROW((void)merge_shards(f.options), SpecError);
+}
+
+TEST(Merge, DuplicateScenarioIsError) {
+  MergeFixture f("emask_merge_dupscenario");
+  auto outcomes = owned_outcomes(f.matrix, f.shard0);
+  outcomes.push_back(outcomes.front());
+  f.add("s0", f.shard0, outcomes);
+  f.add("s1", f.shard1, owned_outcomes(f.matrix, f.shard1));
+  EXPECT_THROW((void)merge_shards(f.options), SpecError);
+}
+
+TEST(Merge, MissingScenarioIsError) {
+  MergeFixture f("emask_merge_partial");
+  auto outcomes = owned_outcomes(f.matrix, f.shard0);
+  outcomes.pop_back();  // shard 0 never completed its last scenario
+  f.add("s0", f.shard0, outcomes);
+  f.add("s1", f.shard1, owned_outcomes(f.matrix, f.shard1));
+  EXPECT_THROW((void)merge_shards(f.options), SpecError);
 }
 
 TEST(Runner, RerunWithDifferentSpecInSameDirIsError) {

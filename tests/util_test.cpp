@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "util/argparse.hpp"
@@ -344,6 +346,115 @@ TEST(Json, FormatDoubleRoundTrips) {
   for (const double v : values) {
     EXPECT_EQ(std::stod(JsonWriter::format_double(v)), v);
   }
+}
+
+TEST(Json, NonFiniteDoublesBecomeNull) {
+  // JSON has no NaN/Infinity literal; emitting format_double's "nan"/"inf"
+  // would make the document unparsable.
+  const double non_finite[] = {std::nan(""),
+                               std::numeric_limits<double>::infinity(),
+                               -std::numeric_limits<double>::infinity()};
+  for (const double v : non_finite) {
+    std::ostringstream out;
+    JsonWriter json(out);
+    json.begin_object();
+    json.key("metric");
+    json.value(v);
+    json.end_object();
+    json.finish();
+    EXPECT_EQ(out.str(), "{\n  \"metric\": null\n}\n") << "value " << v;
+    EXPECT_NO_THROW((void)parse_json(out.str()));
+  }
+}
+
+TEST(Json, ExplicitNull) {
+  std::ostringstream out;
+  JsonWriter json(out);
+  json.begin_array();
+  json.null();
+  json.end_array();
+  json.finish();
+  EXPECT_EQ(out.str(), "[\n  null\n]\n");
+}
+
+TEST(Json, ParserRoundTripsWriterOutput) {
+  std::ostringstream out;
+  JsonWriter json(out);
+  json.begin_object();
+  json.key("name");
+  json.value("say \"hi\"\n");
+  json.key("big");
+  json.value(std::uint64_t{18446744073709551615ull});
+  json.key("third");
+  json.value(1.0 / 3.0);
+  json.key("neg");
+  json.value(-7);
+  json.key("flags");
+  json.begin_array();
+  json.value(true);
+  json.value(false);
+  json.null();
+  json.end_array();
+  json.end_object();
+  json.finish();
+
+  const JsonValue doc = parse_json(out.str());
+  EXPECT_EQ(doc.at("name").as_string(), "say \"hi\"\n");
+  // Raw tokens survive: a u64 above 2^53 loses nothing.
+  EXPECT_EQ(doc.at("big").as_u64(), 18446744073709551615ull);
+  EXPECT_EQ(doc.at("big").text, "18446744073709551615");
+  EXPECT_DOUBLE_EQ(doc.at("third").as_double(), 1.0 / 3.0);
+  EXPECT_EQ(doc.at("third").text, JsonWriter::format_double(1.0 / 3.0));
+  EXPECT_EQ(doc.at("neg").as_int(), -7);
+  ASSERT_EQ(doc.at("flags").array.size(), 3u);
+  EXPECT_TRUE(doc.at("flags").array[0].as_bool());
+  EXPECT_FALSE(doc.at("flags").array[1].as_bool());
+  EXPECT_TRUE(doc.at("flags").array[2].is_null());
+  // Members preserve insertion order.
+  EXPECT_EQ(doc.members.front().first, "name");
+  EXPECT_EQ(doc.members.back().first, "flags");
+}
+
+TEST(Json, ParserDecodesEscapes) {
+  const JsonValue doc = parse_json("\"a\\u00e9\\t\\\\b\\u0041\"");
+  EXPECT_EQ(doc.as_string(), "a\xC3\xA9\t\\bA");
+}
+
+TEST(Json, ParserRejectsMalformedInput) {
+  EXPECT_THROW((void)parse_json(""), JsonError);
+  EXPECT_THROW((void)parse_json("{\"a\": 1,}"), JsonError);
+  EXPECT_THROW((void)parse_json("{\"a\" 1}"), JsonError);
+  EXPECT_THROW((void)parse_json("[1, 2] trailing"), JsonError);
+  EXPECT_THROW((void)parse_json("01"), JsonError);
+  EXPECT_THROW((void)parse_json("nan"), JsonError);
+  EXPECT_THROW((void)parse_json("\"unterminated"), JsonError);
+}
+
+TEST(Json, AccessorsRejectTypeMismatch) {
+  const JsonValue doc = parse_json("{\"s\": \"x\", \"d\": 1.5, \"n\": -2}");
+  EXPECT_THROW((void)doc.at("s").as_u64(), JsonError);
+  EXPECT_THROW((void)doc.at("d").as_u64(), JsonError);   // not an integer
+  EXPECT_THROW((void)doc.at("n").as_u64(), JsonError);   // negative
+  EXPECT_THROW((void)doc.at("missing"), JsonError);
+  EXPECT_EQ(doc.find("missing"), nullptr);
+  EXPECT_EQ(doc.at("n").as_int(), -2);
+}
+
+TEST(ArgParser, PositionalRestCollectsTail) {
+  std::string cmd;
+  std::vector<std::string> rest;
+  std::string out;
+  ArgParser parser("t", "CMD DIR... --out=X");
+  parser.positional("CMD", &cmd, true, "subcommand");
+  parser.positional_rest("DIR", &rest, "input directories");
+  parser.opt_string("out", &out, "X", "output");
+  const char* argv[] = {"t", "merge", "a", "b", "c", "--out=m"};
+  ASSERT_TRUE(parser.parse(6, const_cast<char**>(argv)));
+  EXPECT_EQ(cmd, "merge");
+  ASSERT_EQ(rest.size(), 3u);
+  EXPECT_EQ(rest[0], "a");
+  EXPECT_EQ(rest[2], "c");
+  EXPECT_EQ(out, "m");
 }
 
 }  // namespace
