@@ -18,6 +18,7 @@
 #include "core/masking_pipeline.hpp"
 #include "sim/pipeline.hpp"
 #include "util/csv.hpp"
+#include "util/fsio.hpp"
 #include "util/json.hpp"
 
 namespace emask::bench {
@@ -143,8 +144,7 @@ class SeriesWriter {
     flushed_ = true;
     csv_.flush();
     const std::string path = dir_ + "/BENCH_" + name_ + ".json";
-    std::ofstream file(path);
-    if (!file) throw std::runtime_error("cannot write " + path);
+    std::ofstream file = util::open_for_write(path);
     util::JsonWriter j(file);
     j.begin_object();
     j.key("format");
@@ -171,8 +171,7 @@ class SeriesWriter {
     j.end_array();
     j.end_object();
     j.finish();
-    file.flush();
-    if (!file) throw std::runtime_error("write failure on " + path);
+    util::close_or_throw(file, path);
   }
 
  private:

@@ -7,7 +7,6 @@
 #include "analysis/dpa.hpp"
 #include "bench_common.hpp"
 #include "core/batch_runner.hpp"
-#include "util/csv.hpp"
 
 using namespace emask;
 
@@ -73,7 +72,7 @@ int main() {
       core::MaskingPipeline::des(compiler::Policy::kSelective);
 
   std::printf("true subkey chunk (K1, S-box 1): %d\n\n", truth);
-  util::CsvWriter csv(bench::out_dir() + "/ext_dpa_attack.csv");
+  bench::SeriesWriter csv("ext_dpa_attack");
   csv.write_header({"traces", "unmasked_guess", "unmasked_peak",
                     "unmasked_margin", "unmasked_correct"});
 
@@ -90,6 +89,8 @@ int main() {
                    static_cast<double>(c.best_guess), c.best_peak, c.margin,
                    ok ? 1.0 : 0.0});
   }
+
+  csv.flush();
 
   std::printf("\n-- selectively masked device --\n");
   const auto masked_result =

@@ -9,7 +9,6 @@
 #include "analysis/dpa.hpp"
 #include "bench_common.hpp"
 #include "core/batch_runner.hpp"
-#include "util/csv.hpp"
 
 using namespace emask;
 
@@ -72,7 +71,7 @@ int main() {
   const double sigmas[] = {0.0, 0.5, 1.0, 2.0};  // pJ per cycle
   // (the per-cycle data-dependent signal is itself only ~0.3-3 pJ)
 
-  util::CsvWriter csv(bench::out_dir() + "/ext_noise_sweep.csv");
+  bench::SeriesWriter csv("ext_noise_sweep");
   csv.write_header({"noise_sigma_pj", "traces_to_disclosure"});
   std::printf("%14s %22s\n", "noise (pJ rms)", "traces to disclosure");
   bool monotone_ok = true;
@@ -86,6 +85,7 @@ int main() {
     if (prev != 0) monotone_ok &= n >= prev;
     prev = n;
   }
+  csv.flush();
   std::printf("\n(noise delays, but does not prevent, disclosure — the "
               "paper's argument for circuit-level masking over noise "
               "injection.)\n");

@@ -10,7 +10,6 @@
 //      branches — enforced by the compiler's kTaintedBranch diagnostic).
 #include "bench_common.hpp"
 #include "compiler/masking.hpp"
-#include "util/csv.hpp"
 #include "util/rng.hpp"
 
 using namespace emask;
@@ -23,7 +22,7 @@ int main() {
       compiler::Policy::kOriginal, compiler::Policy::kSelective,
       compiler::Policy::kNaiveLoadStore, compiler::Policy::kAllSecure};
 
-  util::CsvWriter csv(bench::out_dir() + "/ext_timing.csv");
+  bench::SeriesWriter csv("ext_timing");
   csv.write_header({"policy", "cycles", "instructions", "cpi", "stalls",
                     "flushes"});
 
@@ -59,6 +58,7 @@ int main() {
         masked.run_des(rng.next_u64(), rng.next_u64()).sim.cycles ==
         baseline_cycles;
   }
+  csv.flush();
   std::printf("\ncycle count identical across policies : %s\n",
               invariant ? "yes (masking adds energy, never latency)" : "NO");
   std::printf("cycle count identical across inputs   : %s\n",

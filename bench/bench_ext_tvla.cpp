@@ -11,7 +11,6 @@
 #include "bench_common.hpp"
 #include "compiler/masking.hpp"
 #include "core/batch_runner.hpp"
-#include "util/csv.hpp"
 
 using namespace emask;
 
@@ -29,7 +28,7 @@ int main() {
   const bench::Window round1 = bench::round_window(layout.program(), 1);
   const std::size_t stop = round1.end;
 
-  util::CsvWriter csv(bench::out_dir() + "/ext_tvla.csv");
+  bench::SeriesWriter csv("ext_tvla");
   csv.write_header({"policy", "round1_max_abs_t", "round1_cycles_over",
                     "prefix_max_abs_t", "prefix_cycles_over"});
 
@@ -80,6 +79,7 @@ int main() {
     // assessment shows it is also weaker protection than the (cheaper)
     // compiler-directed scheme.
   }
+  csv.flush();
   std::printf("\n(The prefix column is the unprotected initial permutation: "
               "plaintext-driven, key-free — the paper's Fig. 11 residual.\n"
               " Note naive_loadstore LEAKING in round 1: loads/stores alone "

@@ -58,6 +58,25 @@ const double* find_reference(const CampaignSpec& spec,
   return nullptr;
 }
 
+std::string_view analysis_artifact(Analysis a) {
+  switch (a) {
+    case Analysis::kEnergy: return "breakdown.csv";
+    case Analysis::kDpa:
+    case Analysis::kCpa:
+    case Analysis::kSecondOrder: return "guesses.csv";
+    case Analysis::kTvla: return "t_per_cycle.csv";
+  }
+  return "?";
+}
+
+std::string scenario_result_path(const std::string& id) {
+  return "scenarios/" + id + "/result.csv";
+}
+
+std::string scenario_artifact_path(const std::string& id, Analysis a) {
+  return "scenarios/" + id + "/" + std::string(analysis_artifact(a));
+}
+
 void save_checkpoint(const std::string& path, const Scenario& scenario,
                      const ScenarioResult& result,
                      const std::string& spec_hash) {

@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "campaign/spec.hpp"
@@ -127,5 +128,16 @@ struct PolicyRollup {
 /// The spec's [reference] value for a policy, or nullptr.
 [[nodiscard]] const double* find_reference(const CampaignSpec& spec,
                                            compiler::Policy policy);
+
+/// Filename of the analysis-specific artifact CSV the runner writes beside
+/// result.csv: breakdown.csv (energy), guesses.csv (dpa/cpa/second_order),
+/// t_per_cycle.csv (tvla).
+[[nodiscard]] std::string_view analysis_artifact(Analysis a);
+
+/// Artifact paths relative to a campaign output directory — the layout
+/// contract consumers (the report layer) join against.
+[[nodiscard]] std::string scenario_result_path(const std::string& id);
+[[nodiscard]] std::string scenario_artifact_path(const std::string& id,
+                                                 Analysis a);
 
 }  // namespace emask::campaign

@@ -14,35 +14,6 @@ namespace {
 using util::ArgParser;
 using util::IniFile;
 
-Cipher parse_cipher(const std::string& name) {
-  if (name == "des") return Cipher::kDes;
-  if (name == "aes") return Cipher::kAes;
-  if (name == "sha1") return Cipher::kSha1;
-  throw SpecError("axes.cipher: unknown cipher '" + name +
-                  "' (expected des|aes|sha1)");
-}
-
-Analysis parse_analysis(const std::string& name) {
-  if (name == "energy") return Analysis::kEnergy;
-  if (name == "dpa") return Analysis::kDpa;
-  if (name == "cpa") return Analysis::kCpa;
-  if (name == "tvla") return Analysis::kTvla;
-  if (name == "second_order") return Analysis::kSecondOrder;
-  throw SpecError("axes.analysis: unknown analysis '" + name +
-                  "' (expected energy|dpa|cpa|tvla|second_order)");
-}
-
-compiler::Policy parse_policy(const std::string& name) {
-  for (const compiler::Policy p :
-       {compiler::Policy::kOriginal, compiler::Policy::kSelective,
-        compiler::Policy::kNaiveLoadStore, compiler::Policy::kAllSecure}) {
-    if (name == compiler::policy_name(p)) return p;
-  }
-  throw SpecError("axes.policy: unknown policy '" + name +
-                  "' (expected original|selective|naive_loadstore|"
-                  "all_secure)");
-}
-
 std::vector<std::string> axis_items(const IniFile::Section& axes,
                                     const std::string& key) {
   const IniFile::Entry* entry = axes.find(key);
@@ -117,6 +88,34 @@ std::string_view analysis_name(Analysis a) {
     case Analysis::kSecondOrder: return "second_order";
   }
   return "?";
+}
+
+Cipher cipher_from_name(const std::string& name) {
+  if (name == "des") return Cipher::kDes;
+  if (name == "aes") return Cipher::kAes;
+  if (name == "sha1") return Cipher::kSha1;
+  throw SpecError("unknown cipher '" + name + "' (expected des|aes|sha1)");
+}
+
+Analysis analysis_from_name(const std::string& name) {
+  if (name == "energy") return Analysis::kEnergy;
+  if (name == "dpa") return Analysis::kDpa;
+  if (name == "cpa") return Analysis::kCpa;
+  if (name == "tvla") return Analysis::kTvla;
+  if (name == "second_order") return Analysis::kSecondOrder;
+  throw SpecError("unknown analysis '" + name +
+                  "' (expected energy|dpa|cpa|tvla|second_order)");
+}
+
+compiler::Policy policy_from_name(const std::string& name) {
+  for (const compiler::Policy p :
+       {compiler::Policy::kOriginal, compiler::Policy::kSelective,
+        compiler::Policy::kNaiveLoadStore, compiler::Policy::kAllSecure}) {
+    if (name == compiler::policy_name(p)) return p;
+  }
+  throw SpecError("unknown policy '" + name +
+                  "' (expected original|selective|naive_loadstore|"
+                  "all_secure)");
 }
 
 std::string fnv1a_hex(const std::string& text) {
@@ -273,13 +272,13 @@ CampaignSpec CampaignSpec::parse(const std::string& text) {
       *axes, {"cipher", "policy", "analysis", "noise", "traces", "coupling"});
 
   for (const std::string& item : axis_items(*axes, "cipher")) {
-    spec.ciphers.push_back(parse_cipher(item));
+    spec.ciphers.push_back(cipher_from_name(item));
   }
   for (const std::string& item : axis_items(*axes, "policy")) {
-    spec.policies.push_back(parse_policy(item));
+    spec.policies.push_back(policy_from_name(item));
   }
   for (const std::string& item : axis_items(*axes, "analysis")) {
-    spec.analyses.push_back(parse_analysis(item));
+    spec.analyses.push_back(analysis_from_name(item));
   }
   for (const std::string& item : axis_items(*axes, "noise")) {
     const double sigma =
@@ -323,7 +322,7 @@ CampaignSpec CampaignSpec::parse(const std::string& text) {
 
   if (const IniFile::Section* reference = ini.find_section("reference")) {
     for (const IniFile::Entry& e : reference->entries) {
-      parse_policy(e.key);  // keys are policy names
+      policy_from_name(e.key);  // keys are policy names
       spec.reference_uj.emplace_back(
           e.key,
           spec_scalar("reference." + e.key, e.value, ArgParser::parse_double));

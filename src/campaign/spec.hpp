@@ -56,6 +56,13 @@ enum class Analysis { kEnergy, kDpa, kCpa, kTvla, kSecondOrder };
 [[nodiscard]] std::string_view cipher_name(Cipher c);
 [[nodiscard]] std::string_view analysis_name(Analysis a);
 
+// Inverses of the *_name functions, shared by the spec parser and every
+// consumer that reads names back out of a manifest (shard merge, report).
+// Each throws SpecError naming the unknown value.
+[[nodiscard]] Cipher cipher_from_name(const std::string& name);
+[[nodiscard]] Analysis analysis_from_name(const std::string& name);
+[[nodiscard]] compiler::Policy policy_from_name(const std::string& name);
+
 /// One cell of the campaign matrix, fully resolved.
 struct Scenario {
   std::size_t index = 0;  // position in expansion order

@@ -1,0 +1,50 @@
+// report::Html — templated sections + the render() glue.
+//
+// render() turns a report::Model into ONE self-contained static HTML
+// document: all styling is an inline <style> block, every chart is inline
+// SVG from report::Svg, and there are no external resources (no links to
+// scripts, stylesheets, fonts, or images) — the file can be archived next
+// to the manifest and opened offline years later.
+//
+// Determinism contract (the report-level mirror of the manifest's):
+// render() is a pure function of (Model, RenderOptions).  No timestamps,
+// no absolute paths, no locale-dependent formatting — so the same
+// manifest + artifacts produce a byte-identical report.html, and reports
+// can be diffed in CI exactly like manifests are (enforced by the
+// emask-report_golden ctest and the CI re-render diff step).
+//
+// Non-finite numbers (a NaN metric loaded back from a `null`, an Inf
+// energy in a crafted manifest) always render as "n/a" — never "nan",
+// "inf", or "null" — via the single number-formatting chokepoint.
+#pragma once
+
+#include <string>
+
+#include "report/model.hpp"
+
+namespace emask::report {
+
+struct RenderOptions {
+  /// Page title; empty means "campaign <name>".
+  std::string title;
+};
+
+/// "n/a" for non-finite values, compact "%.6g" otherwise.  The only
+/// double→text path in the HTML layer.
+[[nodiscard]] std::string num_or_na(double v);
+
+/// Renders the full self-contained HTML document.
+[[nodiscard]] std::string render(const Model& model,
+                                 const RenderOptions& options = {});
+
+/// Writes `html` to `path`, creating missing parent directories; throws
+/// with the path in the message on any IO failure.
+void write_report(const std::string& path, const std::string& html);
+
+/// Convenience glue: Model::load(dir) + render + write_report.  Returns
+/// the rendered byte count.
+std::size_t render_directory(const std::string& dir,
+                             const std::string& out_path,
+                             const RenderOptions& options = {});
+
+}  // namespace emask::report

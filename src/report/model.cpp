@@ -1,0 +1,218 @@
+#include "report/model.hpp"
+
+#include <cmath>
+#include <filesystem>
+
+#include "util/argparse.hpp"
+#include "util/fsio.hpp"
+#include "util/json.hpp"
+
+namespace emask::report {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr const char* kManifestFormat = "emask-campaign-manifest-v1";
+constexpr const char* kShardFormat = "emask-campaign-shard-manifest-v1";
+
+std::uint64_t hex_field(const util::JsonValue& doc, const char* key) {
+  try {
+    return util::ArgParser::parse_hex(doc.at(key).as_string(), key);
+  } catch (const util::ArgError& e) {
+    throw ReportError(e.what());
+  }
+}
+
+/// Locates the manifest inside a campaign output directory: manifest.json
+/// when present, else the directory's single per-shard manifest.
+fs::path find_manifest(const fs::path& dir) {
+  if (!fs::is_directory(dir)) {
+    throw ReportError(dir.string() + ": not a directory");
+  }
+  const fs::path merged = dir / "manifest.json";
+  if (fs::exists(merged)) return merged;
+  std::vector<fs::path> shards;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("manifest.shard-", 0) == 0 && name.size() >= 5 &&
+        name.compare(name.size() - 5, 5, ".json") == 0) {
+      shards.push_back(entry.path());
+    }
+  }
+  if (shards.empty()) {
+    throw ReportError(dir.string() +
+                      ": no manifest.json (campaign incomplete, or not a "
+                      "campaign output directory?)");
+  }
+  if (shards.size() > 1) {
+    throw ReportError(dir.string() + ": no manifest.json and " +
+                      std::to_string(shards.size()) +
+                      " shard manifests — run `emask-campaign merge` first");
+  }
+  return shards.front();
+}
+
+/// Per-policy reference energies out of the manifest's by_policy block
+/// (absent for campaigns without a [reference] section), keyed by name.
+std::vector<std::pair<std::string, double>> references_from_rollup(
+    const util::JsonValue& doc) {
+  std::vector<std::pair<std::string, double>> refs;
+  const util::JsonValue* rollup = doc.find("rollup");
+  if (rollup == nullptr) return refs;
+  const util::JsonValue* by_policy = rollup->find("by_policy");
+  if (by_policy == nullptr) return refs;
+  for (const util::JsonValue& row : by_policy->array) {
+    if (const util::JsonValue* ref = row.find("paper_uj")) {
+      refs.emplace_back(row.at("policy").as_string(), ref->as_double());
+    }
+  }
+  return refs;
+}
+
+}  // namespace
+
+Model Model::from_manifest(const std::string& manifest_text,
+                           const std::string& manifest_name,
+                           const std::string& dir) {
+  util::JsonValue doc;
+  try {
+    doc = util::parse_json(manifest_text);
+  } catch (const util::JsonError& e) {
+    throw util::JsonError(manifest_name + ": " + e.what());
+  }
+
+  Model model;
+  model.manifest_name = manifest_name;
+  const std::string format = doc.at("format").as_string();
+  if (format == kShardFormat) {
+    model.sharded = true;
+    model.shard_index = static_cast<std::size_t>(
+        doc.at("shard_index").as_u64());
+    model.shard_count = static_cast<std::size_t>(
+        doc.at("shard_count").as_u64());
+  } else if (format != kManifestFormat) {
+    throw ReportError(manifest_name + ": unknown manifest format '" + format +
+                      "' (expected " + kManifestFormat + " or " +
+                      kShardFormat + ")");
+  }
+  model.campaign = doc.at("campaign").as_string();
+  model.spec_hash = doc.at("spec_hash").as_string();
+  model.generator = doc.at("generator").as_string();
+
+  const std::uint64_t key = hex_field(doc, "key");
+  const std::uint64_t fixed_input = hex_field(doc, "fixed_input");
+  const auto window_begin =
+      static_cast<std::size_t>(doc.at("window_begin").as_u64());
+  const auto window_end =
+      static_cast<std::size_t>(doc.at("window_end").as_u64());
+
+  const util::JsonValue& scenarios = doc.at("scenarios");
+  for (std::size_t i = 0; i < scenarios.array.size(); ++i) {
+    const util::JsonValue& row = scenarios.array[i];
+    ScenarioEntry entry;
+    campaign::Scenario& s = entry.scenario;
+    s.index = i;
+    s.id = row.at("id").as_string();
+    s.cipher = campaign::cipher_from_name(row.at("cipher").as_string());
+    s.policy = campaign::policy_from_name(row.at("policy").as_string());
+    s.analysis = campaign::analysis_from_name(row.at("analysis").as_string());
+    s.noise_sigma_pj = row.at("noise_sigma_pj").as_double();
+    s.traces = static_cast<std::size_t>(row.at("traces").as_u64());
+    s.coupling_ff = row.at("coupling_ff").as_double();
+    s.seed = hex_field(row, "seed");
+    s.key = key;
+    s.fixed_input = fixed_input;
+    s.window_begin = window_begin;
+    s.window_end = window_end;
+    entry.result = campaign::scenario_result_from_json(row.at("result"));
+    if (!entry.result.success) ++model.failed;
+
+    entry.artifact_path =
+        campaign::scenario_artifact_path(s.id, s.analysis);
+    const fs::path artifact = fs::path(dir) / entry.artifact_path;
+    if (fs::exists(artifact)) {
+      entry.artifact = util::load_csv_file(artifact.string());
+      entry.artifact_present = true;
+    } else {
+      ++model.missing_artifacts;
+    }
+    model.scenarios.push_back(std::move(entry));
+  }
+
+  if (const util::JsonValue* count = doc.find("scenario_count")) {
+    if (count->as_u64() != model.scenarios.size()) {
+      throw ReportError(manifest_name + ": scenario_count says " +
+                        std::to_string(count->as_u64()) + " but " +
+                        std::to_string(model.scenarios.size()) +
+                        " scenarios are listed");
+    }
+  }
+
+  // Recompute the roll-up from the scenario results through the same
+  // helper the manifest writer uses.  The pseudo-spec carries the policy
+  // order (by_policy order when present, else order of first appearance)
+  // and the paper references read back from by_policy.
+  campaign::CampaignSpec pseudo;
+  pseudo.name = model.campaign;
+  pseudo.reference_uj = references_from_rollup(doc);
+  const util::JsonValue* rollup = doc.find("rollup");
+  const util::JsonValue* by_policy =
+      rollup != nullptr ? rollup->find("by_policy") : nullptr;
+  if (by_policy != nullptr) {
+    for (const util::JsonValue& row : by_policy->array) {
+      pseudo.policies.push_back(
+          campaign::policy_from_name(row.at("policy").as_string()));
+    }
+  } else {
+    for (const ScenarioEntry& e : model.scenarios) {
+      bool seen = false;
+      for (const compiler::Policy p : pseudo.policies) {
+        if (p == e.scenario.policy) seen = true;
+      }
+      if (!seen) pseudo.policies.push_back(e.scenario.policy);
+    }
+  }
+  std::vector<campaign::ScenarioOutcome> outcomes;
+  outcomes.reserve(model.scenarios.size());
+  for (const ScenarioEntry& e : model.scenarios) {
+    campaign::ScenarioOutcome o;
+    o.scenario = e.scenario;
+    o.result = e.result;
+    outcomes.push_back(std::move(o));
+  }
+  const std::vector<campaign::PolicyRollup> rollups =
+      campaign::rollup_by_policy(pseudo, outcomes);
+  const double baseline = rollups.empty() ? 0.0 : rollups.front().mean_uj;
+  const double* ref_baseline =
+      rollups.empty()
+          ? nullptr
+          : campaign::find_reference(pseudo, rollups.front().policy);
+  for (const campaign::PolicyRollup& r : rollups) {
+    PolicyRow row;
+    row.policy = r.policy;
+    row.scenarios = r.scenarios;
+    row.mean_uj = r.mean_uj;
+    // NaN, not 0, when the baseline is unusable (no energy scenarios, or a
+    // NaN mean poisoning it): the report renders "n/a" where the manifest's
+    // own rollup block would have written a misleading 0 ratio.
+    row.ratio = baseline > 0.0 ? r.mean_uj / baseline : std::nan("");
+    if (const double* ref = campaign::find_reference(pseudo, r.policy)) {
+      row.has_reference = true;
+      row.paper_uj = *ref;
+      if (ref_baseline != nullptr && *ref_baseline > 0.0) {
+        row.paper_ratio = *ref / *ref_baseline;
+        row.normalized_uj = row.ratio * *ref_baseline;
+      }
+    }
+    model.rollup.push_back(row);
+  }
+  return model;
+}
+
+Model Model::load(const std::string& dir) {
+  const fs::path manifest = find_manifest(dir);
+  return from_manifest(util::read_text_file(manifest.string()),
+                       manifest.filename().string(), dir);
+}
+
+}  // namespace emask::report

@@ -1,0 +1,358 @@
+#include "report/svg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace emask::report {
+namespace {
+
+// Series palette (colorblind-safe ordering), then status colors.
+constexpr const char* kPalette[] = {"#4878a8", "#e49444", "#6a9f58",
+                                    "#d1605e", "#85b6b2", "#a87c9f"};
+constexpr std::size_t kPaletteSize = sizeof kPalette / sizeof kPalette[0];
+constexpr const char* kAxisColor = "#444444";
+constexpr const char* kGridColor = "#dddddd";
+constexpr const char* kOkColor = "#6a9f58";
+constexpr const char* kFailColor = "#d1605e";
+constexpr const char* kMissColor = "#b8b8b8";
+constexpr const char* kFont =
+    "font-family=\"sans-serif\" fill=\"#222222\"";
+
+const char* series_color(std::size_t i) { return kPalette[i % kPaletteSize]; }
+
+/// Largest finite value across the data (plus reference lines); 1.0 when
+/// nothing is finite so the axis math stays well-defined.
+struct Range {
+  double lo = 0.0;
+  double hi = 1.0;
+  bool any = false;
+
+  void include(double v) {
+    if (!std::isfinite(v)) return;
+    if (!any) {
+      lo = hi = v;
+      any = true;
+    } else {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+};
+
+/// Deterministic 1/2/5 tick step for ~n divisions of `span`.
+double tick_step(double span, int n) {
+  if (!(span > 0.0)) return 1.0;
+  const double raw = span / n;
+  const double pow10 = std::pow(10.0, std::floor(std::log10(raw)));
+  const double frac = raw / pow10;
+  double nice = 10.0;
+  if (frac <= 1.0) {
+    nice = 1.0;
+  } else if (frac <= 2.0) {
+    nice = 2.0;
+  } else if (frac <= 5.0) {
+    nice = 5.0;
+  }
+  return nice * pow10;
+}
+
+struct Axis {
+  double lo = 0.0;
+  double hi = 1.0;
+  double step = 0.2;
+};
+
+/// Expands [lo, hi] to tick-aligned bounds.
+Axis make_axis(double lo, double hi, int divisions) {
+  Axis a;
+  if (lo > hi) std::swap(lo, hi);
+  if (hi == lo) hi = lo + 1.0;
+  a.step = tick_step(hi - lo, divisions);
+  a.lo = std::floor(lo / a.step) * a.step;
+  a.hi = std::ceil(hi / a.step) * a.step;
+  if (a.hi <= a.lo) a.hi = a.lo + a.step;
+  return a;
+}
+
+void open_svg(std::ostringstream& out, int width, int height) {
+  out << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width
+      << "\" height=\"" << height << "\" viewBox=\"0 0 " << width << " "
+      << height << "\" role=\"img\">\n";
+}
+
+void title_text(std::ostringstream& out, const std::string& title,
+                int width) {
+  if (title.empty()) return;
+  out << "<text x=\"" << width / 2
+      << "\" y=\"16\" text-anchor=\"middle\" font-size=\"13\" "
+         "font-weight=\"bold\" "
+      << kFont << ">" << xml_escape(title) << "</text>\n";
+}
+
+struct Plot {
+  double x0, y0, x1, y1;  // plot rectangle, y0 = top
+
+  [[nodiscard]] double map_y(double v, const Axis& axis) const {
+    const double t = (v - axis.lo) / (axis.hi - axis.lo);
+    return y1 - t * (y1 - y0);
+  }
+  [[nodiscard]] double map_x(double v, const Axis& axis) const {
+    const double t = (v - axis.lo) / (axis.hi - axis.lo);
+    return x0 + t * (x1 - x0);
+  }
+};
+
+void y_axis(std::ostringstream& out, const Plot& plot, const Axis& axis,
+            const std::string& label) {
+  // Gridlines + tick labels.  Iterate by index, not by accumulating
+  // doubles, so the tick set is exact.
+  const int ticks =
+      static_cast<int>(std::llround((axis.hi - axis.lo) / axis.step));
+  for (int i = 0; i <= ticks; ++i) {
+    const double v = axis.lo + axis.step * i;
+    const double y = plot.map_y(v, axis);
+    out << "<line x1=\"" << svg_num(plot.x0) << "\" y1=\"" << svg_num(y)
+        << "\" x2=\"" << svg_num(plot.x1) << "\" y2=\"" << svg_num(y)
+        << "\" stroke=\"" << (i == 0 ? kAxisColor : kGridColor)
+        << "\" stroke-width=\"1\"/>\n";
+    out << "<text x=\"" << svg_num(plot.x0 - 6) << "\" y=\""
+        << svg_num(y + 3.5) << "\" text-anchor=\"end\" font-size=\"10\" "
+        << kFont << ">" << svg_label_num(v) << "</text>\n";
+  }
+  if (!label.empty()) {
+    const double cy = (plot.y0 + plot.y1) / 2.0;
+    out << "<text x=\"12\" y=\"" << svg_num(cy)
+        << "\" text-anchor=\"middle\" font-size=\"11\" " << kFont
+        << " transform=\"rotate(-90 12 " << svg_num(cy) << ")\">"
+        << xml_escape(label) << "</text>\n";
+  }
+}
+
+void legend(std::ostringstream& out, const std::vector<std::string>& labels,
+            double x, double y) {
+  double cx = x;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    out << "<rect x=\"" << svg_num(cx) << "\" y=\"" << svg_num(y - 9)
+        << "\" width=\"10\" height=\"10\" fill=\"" << series_color(i)
+        << "\"/>\n";
+    cx += 14;
+    out << "<text x=\"" << svg_num(cx) << "\" y=\"" << svg_num(y)
+        << "\" font-size=\"11\" " << kFont << ">" << xml_escape(labels[i])
+        << "</text>\n";
+    cx += 7.0 * static_cast<double>(labels[i].size()) + 18.0;
+  }
+}
+
+}  // namespace
+
+std::string svg_num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.2f", v);
+  return buf;
+}
+
+std::string svg_label_num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+std::string xml_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c; break;
+    }
+  }
+  return out;
+}
+
+std::string bar_chart(const BarChartSpec& spec) {
+  std::ostringstream out;
+  open_svg(out, spec.width, spec.height);
+  title_text(out, spec.title, spec.width);
+
+  Range range;
+  range.include(0.0);
+  for (const BarSeries& s : spec.series) {
+    for (const double v : s.values) range.include(v);
+  }
+  const Axis axis = make_axis(std::min(range.lo, 0.0), range.hi, 5);
+
+  const bool with_legend = spec.series.size() > 1;
+  const Plot plot{56.0, 26.0, spec.width - 16.0,
+                  spec.height - (with_legend ? 58.0 : 38.0)};
+  y_axis(out, plot, axis, spec.y_label);
+
+  const std::size_t groups = spec.groups.size();
+  const std::size_t nseries = spec.series.size();
+  if (groups > 0 && nseries > 0) {
+    const double slot = (plot.x1 - plot.x0) / static_cast<double>(groups);
+    const double band = slot * 0.72;
+    const double bar = band / static_cast<double>(nseries);
+    const double zero_y = plot.map_y(std::max(axis.lo, 0.0), axis);
+    for (std::size_t g = 0; g < groups; ++g) {
+      const double left =
+          plot.x0 + slot * static_cast<double>(g) + (slot - band) / 2.0;
+      for (std::size_t si = 0; si < nseries; ++si) {
+        const double x = left + bar * static_cast<double>(si);
+        const double v = g < spec.series[si].values.size()
+                             ? spec.series[si].values[g]
+                             : std::nan("");
+        if (!std::isfinite(v)) {
+          out << "<text x=\"" << svg_num(x + bar / 2.0) << "\" y=\""
+              << svg_num(zero_y - 4) << "\" text-anchor=\"middle\" "
+              << "font-size=\"9\" " << kFont << ">n/a</text>\n";
+          continue;
+        }
+        const double y = plot.map_y(v, axis);
+        const double top = std::min(y, zero_y);
+        const double h = std::abs(zero_y - y);
+        out << "<rect x=\"" << svg_num(x + 1) << "\" y=\"" << svg_num(top)
+            << "\" width=\"" << svg_num(bar - 2) << "\" height=\""
+            << svg_num(h) << "\" fill=\"" << series_color(si) << "\">"
+            << "<title>" << xml_escape(spec.series[si].label) << " / "
+            << xml_escape(spec.groups[g]) << ": " << svg_label_num(v)
+            << "</title></rect>\n";
+        out << "<text x=\"" << svg_num(x + bar / 2.0) << "\" y=\""
+            << svg_num(top - 3) << "\" text-anchor=\"middle\" "
+            << "font-size=\"9\" " << kFont << ">" << svg_label_num(v)
+            << "</text>\n";
+      }
+      out << "<text x=\"" << svg_num(left + band / 2.0) << "\" y=\""
+          << svg_num(plot.y1 + 14) << "\" text-anchor=\"middle\" "
+          << "font-size=\"11\" " << kFont << ">" << xml_escape(spec.groups[g])
+          << "</text>\n";
+    }
+  }
+  if (with_legend) {
+    std::vector<std::string> labels;
+    for (const BarSeries& s : spec.series) labels.push_back(s.label);
+    legend(out, labels, plot.x0, spec.height - 10.0);
+  }
+  out << "</svg>";
+  return out.str();
+}
+
+std::string line_chart(const LineChartSpec& spec) {
+  std::ostringstream out;
+  open_svg(out, spec.width, spec.height);
+  title_text(out, spec.title, spec.width);
+
+  Range xr;
+  Range yr;
+  for (const LineSeries& s : spec.series) {
+    const std::size_t n = std::min(s.xs.size(), s.ys.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!std::isfinite(s.ys[i])) continue;
+      xr.include(s.xs[i]);
+      yr.include(s.ys[i]);
+    }
+  }
+  for (const double h : spec.hlines) yr.include(h);
+  const Axis x_axis = make_axis(xr.lo, xr.hi, 6);
+  const Axis axis = make_axis(yr.lo, yr.hi, 5);
+
+  const bool with_legend = spec.series.size() > 1;
+  const Plot plot{56.0, 26.0, spec.width - 16.0,
+                  spec.height - (with_legend ? 62.0 : 42.0)};
+  y_axis(out, plot, axis, spec.y_label);
+
+  // X ticks.
+  const int xticks =
+      static_cast<int>(std::llround((x_axis.hi - x_axis.lo) / x_axis.step));
+  for (int i = 0; i <= xticks; ++i) {
+    const double v = x_axis.lo + x_axis.step * i;
+    const double x = plot.map_x(v, x_axis);
+    out << "<line x1=\"" << svg_num(x) << "\" y1=\"" << svg_num(plot.y1)
+        << "\" x2=\"" << svg_num(x) << "\" y2=\"" << svg_num(plot.y1 + 4)
+        << "\" stroke=\"" << kAxisColor << "\" stroke-width=\"1\"/>\n";
+    out << "<text x=\"" << svg_num(x) << "\" y=\"" << svg_num(plot.y1 + 15)
+        << "\" text-anchor=\"middle\" font-size=\"10\" " << kFont << ">"
+        << svg_label_num(v) << "</text>\n";
+  }
+  if (!spec.x_label.empty()) {
+    out << "<text x=\"" << svg_num((plot.x0 + plot.x1) / 2.0) << "\" y=\""
+        << svg_num(plot.y1 + 28) << "\" text-anchor=\"middle\" "
+        << "font-size=\"11\" " << kFont << ">" << xml_escape(spec.x_label)
+        << "</text>\n";
+  }
+
+  for (const double h : spec.hlines) {
+    if (!std::isfinite(h) || h < axis.lo || h > axis.hi) continue;
+    const double y = plot.map_y(h, axis);
+    out << "<line x1=\"" << svg_num(plot.x0) << "\" y1=\"" << svg_num(y)
+        << "\" x2=\"" << svg_num(plot.x1) << "\" y2=\"" << svg_num(y)
+        << "\" stroke=\"" << kFailColor
+        << "\" stroke-width=\"1\" stroke-dasharray=\"4 3\"/>\n";
+    out << "<text x=\"" << svg_num(plot.x1) << "\" y=\"" << svg_num(y - 3)
+        << "\" text-anchor=\"end\" font-size=\"9\" fill=\"" << kFailColor
+        << "\" font-family=\"sans-serif\">" << svg_label_num(h)
+        << "</text>\n";
+  }
+
+  for (std::size_t si = 0; si < spec.series.size(); ++si) {
+    const LineSeries& s = spec.series[si];
+    const std::size_t n = std::min(s.xs.size(), s.ys.size());
+    std::string points;
+    const auto emit_segment = [&] {
+      if (points.empty()) return;
+      out << "<polyline fill=\"none\" stroke=\"" << series_color(si)
+          << "\" stroke-width=\"1.5\" points=\"" << points << "\"/>\n";
+      points.clear();
+    };
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!std::isfinite(s.xs[i]) || !std::isfinite(s.ys[i])) {
+        emit_segment();  // NaN/Inf breaks the polyline
+        continue;
+      }
+      if (!points.empty()) points += ' ';
+      points += svg_num(plot.map_x(s.xs[i], x_axis));
+      points += ',';
+      points += svg_num(plot.map_y(s.ys[i], axis));
+    }
+    emit_segment();
+  }
+
+  if (with_legend) {
+    std::vector<std::string> labels;
+    for (const LineSeries& s : spec.series) labels.push_back(s.label);
+    legend(out, labels, plot.x0, spec.height - 10.0);
+  }
+  out << "</svg>";
+  return out.str();
+}
+
+std::string status_grid(const std::vector<GridCell>& cells, int columns) {
+  if (columns < 1) columns = 1;
+  constexpr int kCell = 18;
+  constexpr int kGap = 3;
+  const int rows =
+      (static_cast<int>(cells.size()) + columns - 1) / columns;
+  const int width = columns * (kCell + kGap) + kGap;
+  const int height = std::max(rows, 1) * (kCell + kGap) + kGap;
+  std::ostringstream out;
+  open_svg(out, width, height);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const int c = static_cast<int>(i) % columns;
+    const int r = static_cast<int>(i) / columns;
+    const char* fill = kOkColor;
+    if (cells[i].state == CellState::kFailed) fill = kFailColor;
+    if (cells[i].state == CellState::kNoArtifact) fill = kMissColor;
+    out << "<rect x=\"" << kGap + c * (kCell + kGap) << "\" y=\""
+        << kGap + r * (kCell + kGap) << "\" width=\"" << kCell
+        << "\" height=\"" << kCell << "\" rx=\"3\" fill=\"" << fill << "\">"
+        << "<title>" << xml_escape(cells[i].label) << "</title></rect>\n";
+  }
+  out << "</svg>";
+  return out.str();
+}
+
+}  // namespace emask::report

@@ -1,0 +1,77 @@
+// report::Svg — a small deterministic chart builder.
+//
+// Emits standalone inline-SVG fragments (no external CSS/JS/fonts beyond
+// the generic sans-serif family) for the three shapes the report needs:
+// grouped bar charts (per-policy energy vs. paper references), line charts
+// (TVLA t-per-cycle, attack guess scores), and a scenario status grid.
+//
+// Determinism contract: the output is a pure function of the spec structs
+// — every coordinate is formatted with fixed snprintf patterns ("%.2f"
+// for geometry, "%.6g" for tick labels), axis ticks are chosen by a
+// deterministic 1/2/5 ladder, and nothing reads clocks, locales, or
+// randomness.  Non-finite values never reach the output: a NaN/Inf bar is
+// drawn as an "n/a" placeholder and a NaN/Inf point breaks the polyline.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace emask::report {
+
+/// Fixed "%.2f" rendering for SVG geometry.  Callers must keep non-finite
+/// values out (the chart builders do).
+[[nodiscard]] std::string svg_num(double v);
+
+/// Compact "%.6g" rendering for tick/value labels.
+[[nodiscard]] std::string svg_label_num(double v);
+
+/// XML/HTML text escaping (&, <, >, ").
+[[nodiscard]] std::string xml_escape(const std::string& text);
+
+struct BarSeries {
+  std::string label;
+  std::vector<double> values;  // one per group; NaN/Inf draws as "n/a"
+};
+
+struct BarChartSpec {
+  std::string title;
+  std::string y_label;
+  std::vector<std::string> groups;  // category labels along x
+  std::vector<BarSeries> series;    // bars per group, in legend order
+  int width = 720;
+  int height = 340;
+};
+
+[[nodiscard]] std::string bar_chart(const BarChartSpec& spec);
+
+struct LineSeries {
+  std::string label;
+  std::vector<double> xs;
+  std::vector<double> ys;  // NaN/Inf breaks the polyline at that point
+};
+
+struct LineChartSpec {
+  std::string title;
+  std::string x_label;
+  std::string y_label;
+  std::vector<LineSeries> series;
+  /// Dashed horizontal reference lines (e.g. the TVLA +/-4.5 threshold).
+  std::vector<double> hlines;
+  int width = 720;
+  int height = 300;
+};
+
+[[nodiscard]] std::string line_chart(const LineChartSpec& spec);
+
+enum class CellState { kOk, kFailed, kNoArtifact };
+
+struct GridCell {
+  std::string label;  // hover text (scenario id)
+  CellState state = CellState::kOk;
+};
+
+/// Compact scenario-status grid; `columns` cells per row.
+[[nodiscard]] std::string status_grid(const std::vector<GridCell>& cells,
+                                      int columns = 10);
+
+}  // namespace emask::report

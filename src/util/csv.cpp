@@ -2,13 +2,12 @@
 
 #include <stdexcept>
 
+#include "util/fsio.hpp"
+
 namespace emask::util {
 
-CsvWriter::CsvWriter(const std::string& path) : path_(path), out_(path) {
-  if (!out_) {
-    throw std::runtime_error("CsvWriter: cannot open " + path);
-  }
-}
+CsvWriter::CsvWriter(const std::string& path)
+    : path_(path), out_(open_for_write(path)) {}
 
 std::string CsvWriter::escape(const std::string& cell) {
   const bool needs_quotes =
@@ -51,6 +50,91 @@ void CsvWriter::flush() {
   out_.flush();
   if (!out_) {
     throw std::runtime_error("CsvWriter: write failure on " + path_);
+  }
+}
+
+std::size_t CsvTable::column(const std::string& name) const {
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i] == name) return i;
+  }
+  throw CsvError("no column '" + name + "' in CSV header");
+}
+
+CsvTable parse_csv(const std::string& text) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> record;
+  std::string cell;
+  bool in_quotes = false;
+  bool cell_started = false;  // the current record has content
+  const auto end_cell = [&] {
+    record.push_back(std::move(cell));
+    cell.clear();
+  };
+  const auto end_record = [&] {
+    end_cell();
+    records.push_back(std::move(record));
+    record.clear();
+    cell_started = false;
+  };
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          cell += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell += c;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        cell_started = true;
+        break;
+      case ',':
+        end_cell();
+        cell_started = true;
+        break;
+      case '\r':
+        break;  // CRLF: the LF closes the record
+      case '\n':
+        if (cell_started || !cell.empty() || !record.empty()) end_record();
+        break;
+      default:
+        cell += c;
+        cell_started = true;
+        break;
+    }
+  }
+  if (in_quotes) {
+    throw CsvError("unterminated quoted cell at end of CSV");
+  }
+  if (cell_started || !cell.empty() || !record.empty()) end_record();
+
+  CsvTable table;
+  if (records.empty()) return table;
+  table.columns = std::move(records.front());
+  for (std::size_t r = 1; r < records.size(); ++r) {
+    if (records[r].size() != table.columns.size()) {
+      throw CsvError("row " + std::to_string(r) + " has " +
+                     std::to_string(records[r].size()) + " cells, header has " +
+                     std::to_string(table.columns.size()));
+    }
+    table.rows.push_back(std::move(records[r]));
+  }
+  return table;
+}
+
+CsvTable load_csv_file(const std::string& path) {
+  try {
+    return parse_csv(read_text_file(path));
+  } catch (const CsvError& e) {
+    throw CsvError(path + ": " + e.what());
   }
 }
 

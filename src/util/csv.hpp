@@ -1,8 +1,10 @@
-// Minimal CSV emission for experiment outputs (figure series, tables).
+// Minimal CSV emission and parsing for experiment outputs (figure series,
+// tables, campaign artifacts).
 #pragma once
 
 #include <fstream>
 #include <initializer_list>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -36,5 +38,31 @@ class CsvWriter {
   std::string path_;
   std::ofstream out_;
 };
+
+/// Malformed CSV (unterminated quoted cell, ragged row vs. header).
+class CsvError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One parsed CSV document: the header row plus data rows, cells kept as
+/// raw text (the report layer converts on demand).  Every row must have
+/// the header's column count.
+struct CsvTable {
+  std::vector<std::string> columns;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Header column index; throws CsvError naming the column when absent.
+  [[nodiscard]] std::size_t column(const std::string& name) const;
+};
+
+/// Parses RFC 4180-style CSV text (the dialect CsvWriter emits): first row
+/// is the header, quoted cells may contain commas/quotes/newlines, CRLF
+/// and LF line ends both accepted.  Throws CsvError on an unterminated
+/// quote or a row whose cell count differs from the header's.
+[[nodiscard]] CsvTable parse_csv(const std::string& text);
+
+/// parse_csv over a file; errors are prefixed with the path.
+[[nodiscard]] CsvTable load_csv_file(const std::string& path);
 
 }  // namespace emask::util

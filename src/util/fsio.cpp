@@ -1,0 +1,48 @@
+#include "util/fsio.hpp"
+
+#include <filesystem>
+#include <sstream>
+#include <stdexcept>
+
+namespace emask::util {
+
+namespace fs = std::filesystem;
+
+std::ofstream open_for_write(const std::string& path) {
+  const fs::path parent = fs::path(path).parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;
+    fs::create_directories(parent, ec);
+    if (ec) {
+      throw std::runtime_error("cannot create directory " + parent.string() +
+                               " for " + path + " (" + ec.message() + ")");
+    }
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("cannot write " + path);
+  }
+  return out;
+}
+
+void close_or_throw(std::ofstream& out, const std::string& path) {
+  out.flush();
+  if (!out) {
+    throw std::runtime_error("write failure on " + path);
+  }
+}
+
+std::string read_text_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot read " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!in.good() && !in.eof()) {
+    throw std::runtime_error("read failure on " + path);
+  }
+  return buffer.str();
+}
+
+}  // namespace emask::util

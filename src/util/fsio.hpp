@@ -1,0 +1,30 @@
+// Small filesystem IO helpers shared by every writer that targets a
+// user-supplied path (campaign artifacts, bench series, reports).
+//
+// The contract they enforce: a missing parent directory is created, an
+// unwritable path fails loudly with the path in the message, and a partial
+// write never passes silently — callers close through `close_or_throw` (or
+// check the stream themselves after flushing).
+#pragma once
+
+#include <fstream>
+#include <string>
+
+namespace emask::util {
+
+/// Opens `path` for writing (binary, truncate), creating any missing
+/// parent directories first.  Throws std::runtime_error naming the path
+/// when the directory cannot be created or the file cannot be opened —
+/// never returns a silently-bad stream.
+[[nodiscard]] std::ofstream open_for_write(const std::string& path);
+
+/// Flushes and error-checks `out`; throws std::runtime_error naming
+/// `path` if any write (including earlier buffered ones) failed.  The
+/// close half of open_for_write's no-silent-truncation contract.
+void close_or_throw(std::ofstream& out, const std::string& path);
+
+/// Reads a whole file (binary); throws std::runtime_error naming the path
+/// when it cannot be opened or read.
+[[nodiscard]] std::string read_text_file(const std::string& path);
+
+}  // namespace emask::util

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <limits>
 #include <sstream>
@@ -9,6 +10,7 @@
 #include "util/argparse.hpp"
 #include "util/bitops.hpp"
 #include "util/csv.hpp"
+#include "util/fsio.hpp"
 #include "util/ini.hpp"
 #include "util/json.hpp"
 #include "util/rng.hpp"
@@ -165,8 +167,98 @@ TEST(Csv, WritesHeaderAndRows) {
   std::remove(path.c_str());
 }
 
+TEST(Csv, CreatesMissingOutputDirectory) {
+  // The writer owns directory creation: pointing it into a directory that
+  // does not exist yet must succeed, not silently truncate or throw.
+  const std::string dir = ::testing::TempDir() + "/emask_csv_mkdir/a/b";
+  const std::string path = dir + "/out.csv";
+  {
+    CsvWriter csv(path);
+    csv.write_header({"a"});
+    csv.write_row({1.0});
+    csv.flush();
+  }
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good());
+  std::filesystem::remove_all(::testing::TempDir() + "/emask_csv_mkdir");
+}
+
 TEST(Csv, ThrowsOnUnopenablePath) {
-  EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv"), std::runtime_error);
+  // /dev/null is a file, so a path *through* it can never be created —
+  // the error must name the path instead of deferring to a later flush.
+  EXPECT_THROW(CsvWriter("/dev/null/sub/x.csv"), std::runtime_error);
+}
+
+TEST(Fsio, OpenForWriteCreatesNestedDirectories) {
+  const std::string root = ::testing::TempDir() + "/emask_fsio_test";
+  const std::string path = root + "/x/y/z.txt";
+  {
+    std::ofstream out = open_for_write(path);
+    out << "hello";
+    close_or_throw(out, path);
+  }
+  EXPECT_EQ(read_text_file(path), "hello");
+  std::filesystem::remove_all(root);
+}
+
+TEST(Fsio, OpenForWriteThrowsWithPathInMessage) {
+  try {
+    (void)open_for_write("/dev/null/sub/file.txt");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("/dev/null/sub"),
+              std::string::npos);
+  }
+}
+
+TEST(Fsio, CloseOrThrowReportsWriteFailure) {
+  std::ifstream probe("/dev/full");
+  if (!probe.good()) GTEST_SKIP() << "no /dev/full on this platform";
+  std::ofstream out("/dev/full");
+  out << "spill";
+  EXPECT_THROW(close_or_throw(out, "/dev/full"), std::runtime_error);
+}
+
+TEST(Csv, ParseRoundTripsWriterOutput) {
+  const CsvTable t = parse_csv("a,b\n1.5,2\n3,4\n");
+  ASSERT_EQ(t.columns.size(), 2u);
+  EXPECT_EQ(t.columns[0], "a");
+  EXPECT_EQ(t.column("b"), 1u);
+  ASSERT_EQ(t.rows.size(), 2u);
+  EXPECT_EQ(t.rows[0][0], "1.5");
+  EXPECT_EQ(t.rows[1][1], "4");
+}
+
+TEST(Csv, ParseHandlesQuotedCellsAndCrlf) {
+  const CsvTable t =
+      parse_csv("id,note\r\n\"a,b\",\"say \"\"hi\"\"\"\r\n1,\"multi\nline\"");
+  ASSERT_EQ(t.rows.size(), 2u);
+  EXPECT_EQ(t.rows[0][0], "a,b");
+  EXPECT_EQ(t.rows[0][1], "say \"hi\"");
+  EXPECT_EQ(t.rows[1][1], "multi\nline");
+}
+
+TEST(Csv, ParseRejectsRaggedRows) {
+  try {
+    (void)parse_csv("a,b\n1\n");
+    FAIL() << "expected CsvError";
+  } catch (const CsvError& e) {
+    EXPECT_NE(std::string(e.what()).find("row 1"), std::string::npos);
+  }
+}
+
+TEST(Csv, ParseRejectsUnterminatedQuote) {
+  EXPECT_THROW(parse_csv("a\n\"open"), CsvError);
+}
+
+TEST(Csv, ColumnLookupNamesTheMissingColumn) {
+  const CsvTable t = parse_csv("x,y\n1,2\n");
+  try {
+    (void)t.column("z");
+    FAIL() << "expected CsvError";
+  } catch (const CsvError& e) {
+    EXPECT_NE(std::string(e.what()).find("'z'"), std::string::npos);
+  }
 }
 
 TEST(Csv, EscapeFollowsRfc4180) {

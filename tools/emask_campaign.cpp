@@ -3,6 +3,7 @@
 //
 //   emask-campaign run SPEC.ini --out=DIR [--jobs=N] [--resume]
 //                  [--shard=i/N] [--dry-run] [--limit=K] [--quiet]
+//                  [--report]
 //   emask-campaign merge DIR... --out=DIR [--quiet]
 //
 // `run` expands the spec's axes into a scenario grid and executes it
@@ -23,6 +24,7 @@
 #include "campaign/merge.hpp"
 #include "campaign/runner.hpp"
 #include "campaign/spec.hpp"
+#include "report/html.hpp"
 #include "tool_common.hpp"
 
 using namespace emask;
@@ -39,6 +41,7 @@ int run_command(int argc, char** argv) {
   bool resume = false;
   bool dry_run = false;
   bool quiet = false;
+  bool report = false;
 
   util::ArgParser parser("emask-campaign", "run SPEC.ini [options]");
   parser.positional("command", &command, true, "subcommand: run");
@@ -54,6 +57,8 @@ int run_command(int argc, char** argv) {
   parser.flag("resume", &resume, "reuse checkpoints from a previous run");
   parser.flag("dry-run", &dry_run, "print the scenario matrix and exit");
   parser.flag("quiet", &quiet, "suppress per-scenario progress output");
+  parser.flag("report", &report,
+              "render a self-contained report.html after a successful run");
   const int parsed = tools::parse_or_usage(parser, argc, argv);
   if (parsed != 0) return parsed > 0 ? 1 : 0;
 
@@ -75,18 +80,33 @@ int run_command(int argc, char** argv) {
       options.shard = campaign::ShardSpec::parse(shard_text);
     }
     campaign::CampaignRunner runner(spec, options);
-    const campaign::CampaignReport report = runner.run();
-    if (!quiet && report.complete) {
+    const campaign::CampaignReport result = runner.run();
+    if (!quiet && result.complete) {
       const std::string manifest =
           options.shard.sharded()
               ? "manifest." + options.shard.label() + ".json"
               : "manifest.json";
       std::printf("\ncampaign %s: %zu scenarios (%zu executed, %zu "
                   "resumed) -> %s/%s\n",
-                  spec.name.c_str(), report.total_scenarios, report.executed,
-                  report.resumed, options.out_dir.c_str(), manifest.c_str());
+                  spec.name.c_str(), result.total_scenarios, result.executed,
+                  result.resumed, options.out_dir.c_str(), manifest.c_str());
     }
-    return report.complete ? 0 : 3;
+    if (report && result.complete) {
+      // Same library path as the emask-report CLI: load the manifest the
+      // run just wrote (per-shard for sharded runs) and render next to it.
+      const std::string html_path =
+          options.shard.sharded()
+              ? options.out_dir + "/report." + options.shard.label() +
+                    ".html"
+              : options.out_dir + "/report.html";
+      const std::size_t bytes =
+          report::render_directory(options.out_dir, html_path);
+      if (!quiet) {
+        std::printf("report: %s (%zu bytes, self-contained)\n",
+                    html_path.c_str(), bytes);
+      }
+    }
+    return result.complete ? 0 : 3;
   } catch (const campaign::SpecError& e) {
     std::fprintf(stderr, "emask-campaign: %s\n", e.what());
     return 1;
@@ -134,7 +154,7 @@ void print_usage(std::FILE* out) {
                "usage: emask-campaign <command> [options]\n"
                "  run SPEC.ini [--out=DIR] [--jobs=N] [--resume]\n"
                "               [--shard=i/N] [--dry-run] [--limit=K] "
-               "[--quiet]\n"
+               "[--quiet] [--report]\n"
                "  merge DIR... --out=DIR [--quiet]\n"
                "run `emask-campaign <command> --help` for per-command "
                "options\n");

@@ -1,0 +1,63 @@
+// emask-report: one self-contained HTML file from a campaign output
+// directory.
+//
+//   emask-report MANIFEST_DIR [--out=report.html] [--title=...]
+//
+// MANIFEST_DIR is an `emask-campaign run` (or `merge`) output directory:
+// the manifest.json inside is the source of truth, and the per-scenario
+// artifact CSVs under scenarios/ feed the drill-down charts.  An unmerged
+// shard directory (manifest.shard-i-of-N.json) renders too, with the
+// shard provenance called out in the header.
+//
+// The output is deterministic — same manifest and artifacts, byte-
+// identical HTML (see src/report/README.md) — and fully self-contained:
+// inline CSS + inline SVG, zero external resources.
+#include <cstdio>
+#include <string>
+
+#include "campaign/spec.hpp"
+#include "report/html.hpp"
+#include "tool_common.hpp"
+#include "util/json.hpp"
+
+using namespace emask;
+
+int main(int argc, char** argv) {
+  std::string dir;
+  std::string out_path;
+  std::string title;
+
+  util::ArgParser parser("emask-report",
+                         "MANIFEST_DIR [--out=report.html] [--title=...]");
+  parser.positional("manifest_dir", &dir, true,
+                    "campaign output directory (holds manifest.json)");
+  parser.opt_string("out", &out_path, "FILE",
+                    "output HTML path (default: MANIFEST_DIR/report.html)");
+  parser.opt_string("title", &title, "TEXT",
+                    "page title (default: campaign <name>)");
+  const int parsed = tools::parse_or_usage(parser, argc, argv);
+  if (parsed != 0) return parsed > 0 ? 1 : 0;
+
+  try {
+    if (out_path.empty()) out_path = dir + "/report.html";
+    report::RenderOptions options;
+    options.title = title;
+    const std::size_t bytes =
+        report::render_directory(dir, out_path, options);
+    std::printf("emask-report: %s -> %s (%zu bytes, self-contained)\n",
+                dir.c_str(), out_path.c_str(), bytes);
+    return 0;
+  } catch (const report::ReportError& e) {
+    std::fprintf(stderr, "emask-report: %s\n", e.what());
+    return 1;
+  } catch (const campaign::SpecError& e) {
+    std::fprintf(stderr, "emask-report: %s\n", e.what());
+    return 1;
+  } catch (const util::JsonError& e) {
+    std::fprintf(stderr, "emask-report: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "emask-report: %s\n", e.what());
+    return 2;
+  }
+}

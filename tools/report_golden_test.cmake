@@ -1,0 +1,43 @@
+# Registered ctest (see tools/CMakeLists.txt): renders the checked-in
+# fixture campaign twice and byte-compares both outputs against the golden
+# HTML — the report determinism contract, exercised through the real CLI.
+#
+# Invoked as:
+#   cmake -DTOOL=<emask-report> -DFIXTURE=<fixture dir> -DGOLDEN=<.html>
+#         -DWORK=<scratch dir> -P report_golden_test.cmake
+foreach(var TOOL FIXTURE GOLDEN WORK)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "report_golden_test: -D${var}=... is required")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORK}")
+file(MAKE_DIRECTORY "${WORK}")
+
+function(run_step)
+  execute_process(COMMAND ${ARGV} RESULT_VARIABLE status)
+  if(NOT status EQUAL 0)
+    message(FATAL_ERROR "report_golden_test: '${ARGV}' exited ${status}")
+  endif()
+endfunction()
+
+# Two renders of the same manifest: both must byte-match the golden file.
+run_step("${TOOL}" "${FIXTURE}" --out=${WORK}/a.html)
+run_step("${TOOL}" "${FIXTURE}" --out=${WORK}/b.html)
+
+foreach(rendered a.html b.html)
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            "${WORK}/${rendered}" "${GOLDEN}"
+    RESULT_VARIABLE status)
+  if(NOT status EQUAL 0)
+    message(FATAL_ERROR "report_golden_test: ${rendered} differs from the "
+                        "golden report — determinism contract broken (if the "
+                        "report layout changed on purpose, regenerate "
+                        "tests/data/fixture_campaign.golden.html with "
+                        "emask-report and commit it)")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORK}")
+message(STATUS "report_golden_test: fixture report byte-identical to golden")
