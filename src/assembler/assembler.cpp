@@ -32,13 +32,16 @@ struct Statement {
 
 /// Mnemonic lookup result: base opcode + secure flag (or a pseudo).
 struct Mnemonic {
-  enum class Kind { kReal, kNop, kMove, kLi, kLa, kB } kind = Kind::kReal;
+  enum class Kind { kReal, kNop, kFork, kMove, kLi, kLa, kB } kind = Kind::kReal;
   Opcode op = Opcode::kHalt;
   bool secure = false;
 };
 
 std::optional<Mnemonic> resolve_mnemonic(const std::string& m, int line) {
   if (m == "nop") return Mnemonic{Mnemonic::Kind::kNop, Opcode::kSll, false};
+  // Fork marker: assembles to a retired no-op and records its instruction
+  // index in Program::fork_point (snapshot/fork trace capture).
+  if (m == "fork") return Mnemonic{Mnemonic::Kind::kFork, Opcode::kSll, false};
   if (m == "move") return Mnemonic{Mnemonic::Kind::kMove, Opcode::kAddu, false};
   if (m == "smove") return Mnemonic{Mnemonic::Kind::kMove, Opcode::kAddu, true};
   if (m == "li") return Mnemonic{Mnemonic::Kind::kLi, Opcode::kAddiu, false};
@@ -359,6 +362,15 @@ class Assembler {
       const auto next_index = static_cast<std::uint32_t>(prog_.text.size()) + 1;
       switch (mn->kind) {
         case Mnemonic::Kind::kNop:
+          push(isa::make_nop(), st.line);
+          continue;
+        case Mnemonic::Kind::kFork:
+          require_args(st, 0);
+          if (prog_.fork_point) {
+            throw AsmError(st.line, "duplicate fork marker (the snapshot "
+                                    "point must be unique)");
+          }
+          prog_.fork_point = static_cast<std::uint32_t>(prog_.text.size());
           push(isa::make_nop(), st.line);
           continue;
         case Mnemonic::Kind::kMove: {

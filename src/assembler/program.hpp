@@ -53,6 +53,12 @@ class Program {
   std::vector<std::uint8_t> data;             // image based at kDataBase
   std::map<std::string, std::uint32_t> text_labels;  // label -> instr index
   std::vector<DataSymbol> symbols;
+  /// Instruction index of the `fork` marker, if the source declared one.
+  /// The marker is a retired no-op separating a shared input-independent
+  /// prefix (e.g. the DES key schedule) from per-input work; simulator
+  /// snapshots are taken at the cycle the marker retires (see
+  /// sim::Snapshot).  At most one marker per program.
+  std::optional<std::uint32_t> fork_point;
 
   /// Entry point: index of label "main" if present, else 0.
   [[nodiscard]] std::uint32_t entry() const;

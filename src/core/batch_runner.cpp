@@ -4,6 +4,8 @@
 #include <condition_variable>
 #include <exception>
 #include <mutex>
+#include <optional>
+#include <stdexcept>
 #include <thread>
 #include <utility>
 
@@ -53,15 +55,50 @@ void BatchRunner::capture_each(
             .count();
   };
 
+  if (config_.snapshot == SnapshotMode::kRequire) {
+    if (config_.run_function) {
+      throw std::logic_error(
+          "BatchRunner: SnapshotMode::kRequire is incompatible with a "
+          "custom run_function (the runner cannot prove what it reads "
+          "before the fork point)");
+    }
+    if (!pipeline_.has_fork_point()) {
+      throw std::logic_error(
+          "BatchRunner: SnapshotMode::kRequire but the program declares no "
+          "fork marker (generate with DesAsmOptions::hoist_key_schedule)");
+    }
+  }
+
+  // Shared-prefix snapshot, captured once for the batch's first key.  Runs
+  // with that key fork from it; any other key (and any budget ending at or
+  // before the fork point — run_des_from falls back itself) cold-starts.
+  // Workers only read the snapshot; memory forks copy-on-write.
+  std::optional<DesSnapshot> snap;
+  if (count > 0 && !config_.run_function &&
+      config_.snapshot != SnapshotMode::kOff && pipeline_.has_fork_point()) {
+    snap.emplace(pipeline_.snapshot_des(generator(0).key));
+    stats_.snapshot_prefix_cycles = snap->fork_cycle;
+  }
+  // Whether run index `input` takes the fork path — pure function of the
+  // input, evaluated again on the serial emission side for stats.
+  const auto forks = [&](const BatchInput& input) {
+    return snap.has_value() && input.key == snap->key &&
+           !(config_.stop_after_cycles != 0 &&
+             config_.stop_after_cycles <= snap->fork_cycle);
+  };
+
   // One encryption, with per-index measurement noise.  The noise RNG is
   // seeded from the batch index (not from a stream shared across traces),
   // so noisy captures honour the determinism contract too.
-  const auto run_one = [this](const MaskingPipeline& device,
-                              const BatchInput& input,
-                              std::size_t index) -> EncryptionRun {
+  const auto run_one = [this, &snap](const MaskingPipeline& device,
+                                     const BatchInput& input,
+                                     std::size_t index) -> EncryptionRun {
     EncryptionRun run =
         config_.run_function
             ? config_.run_function(device, input)
+        : (snap.has_value() && input.key == snap->key)
+            ? device.run_des_from(*snap, input.plaintext,
+                                  config_.stop_after_cycles)
             : device.run_des(input.key, input.plaintext,
                              config_.stop_after_cycles);
     if (config_.noise_sigma_pj > 0.0) {
@@ -84,6 +121,7 @@ void BatchRunner::capture_each(
       const BatchInput input = generator(i);
       EncryptionRun run = run_one(pipeline_, input, i);
       accumulate(stats_, run);
+      if (forks(input)) ++stats_.snapshot_forks; else ++stats_.cold_starts;
       sink(i, input, run);
     }
     finish();
@@ -178,6 +216,7 @@ void BatchRunner::capture_each(
         space_cv.notify_all();
       }
       accumulate(stats_, run);
+      if (forks(input)) ++stats_.snapshot_forks; else ++stats_.cold_starts;
       sink(e, input, run);
     }
   } catch (...) {

@@ -28,6 +28,13 @@
 // caps resident memory, and capture_to_file() pipes straight into
 // analysis::TraceSetWriter so a million-trace acquisition never holds more
 // than the window in RAM.
+//
+// Shared-prefix forking (SnapshotMode): when the compiled program declares
+// a `fork` marker, the runner captures the plaintext-independent prefix
+// once (MaskingPipeline::snapshot_des) and forks every same-key run from
+// the snapshot.  run_des_from is bit-identical to run_des, so the
+// determinism contract is unaffected — snapshotting is purely a throughput
+// optimization, and fork/cold accounting lands in BatchStats.
 #pragma once
 
 #include <cstdint>
@@ -59,6 +66,23 @@ using InputGenerator = std::function<BatchInput(std::size_t)>;
 using RunFunction =
     std::function<EncryptionRun(const MaskingPipeline&, const BatchInput&)>;
 
+/// Shared-prefix snapshot/fork policy for a batch (see
+/// MaskingPipeline::snapshot_des).
+enum class SnapshotMode {
+  /// Snapshot when it applies: default DES runs (no custom run_function)
+  /// of a program that declares a `fork` marker.  Anything else falls back
+  /// to cold starts — bit-identical either way.
+  kAuto,
+  /// Never snapshot; every run is a cold start.
+  kOff,
+  /// Fail loudly (std::logic_error) if the batch cannot snapshot — a
+  /// custom run_function is configured, or the program declares no `fork`
+  /// marker.  Individual runs may still legitimately fall back cold (a
+  /// key differing from the snapshot key, or a stop_after_cycles budget
+  /// ending at or before the fork point).
+  kRequire,
+};
+
 struct BatchConfig {
   /// Worker threads; 0 = std::thread::hardware_concurrency().
   std::size_t threads = 0;
@@ -74,8 +98,13 @@ struct BatchConfig {
   std::size_t window_per_thread = 4;
   /// Null = DES: device.run_des(input.key, input.plaintext,
   /// stop_after_cycles).  Non-null overrides the whole simulation step
-  /// (stop_after_cycles is then the run function's business).
+  /// (stop_after_cycles is then the run function's business) and bypasses
+  /// snapshotting — the runner cannot know what a custom run reads before
+  /// the fork point.
   RunFunction run_function;
+  /// Shared-prefix snapshot/fork policy (ignored for run_function batches
+  /// unless kRequire, which then throws).
+  SnapshotMode snapshot = SnapshotMode::kAuto;
 };
 
 /// Batch observability: what the capture cost, aggregated in serial order.
@@ -87,6 +116,13 @@ struct BatchStats {
   energy::Breakdown breakdown;          // per-component energy, joules
   double wall_seconds = 0.0;
   std::size_t threads_used = 0;
+  /// Shared-prefix accounting.  total_cycles counts every trace in full
+  /// (forked traces splice the prefix, so they report the same cycle count
+  /// as a cold run); the cycles *not* re-simulated thanks to forking are
+  /// snapshot_forks * snapshot_prefix_cycles.
+  std::uint64_t snapshot_forks = 0;          // runs forked from the snapshot
+  std::uint64_t cold_starts = 0;             // runs simulated from cycle 0
+  std::uint64_t snapshot_prefix_cycles = 0;  // fork_cycle of the snapshot
 
   [[nodiscard]] double encryptions_per_sec() const {
     return wall_seconds > 0.0 ? static_cast<double>(encryptions) / wall_seconds

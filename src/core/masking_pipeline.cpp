@@ -1,5 +1,8 @@
 #include "core/masking_pipeline.hpp"
 
+#include <stdexcept>
+#include <utility>
+
 #include "assembler/assembler.hpp"
 
 namespace emask::core {
@@ -54,6 +57,84 @@ EncryptionRun MaskingPipeline::run_des(std::uint64_t key,
   des::poke_key(program, key);
   des::poke_plaintext(program, plaintext);
   return simulate(program, stop_after_cycles);
+}
+
+DesSnapshot MaskingPipeline::snapshot_des(std::uint64_t key) const {
+  if (!masked_.program.fork_point) {
+    throw std::logic_error(
+        "snapshot_des: program declares no fork marker (generate with "
+        "DesAsmOptions::hoist_key_schedule)");
+  }
+  assembler::Program program = masked_.program;  // copy, then poke the key
+  des::poke_key(program, key);
+  // The plaintext placeholder stays zero: the prefix must be
+  // plaintext-independent, and by construction the marker precedes the
+  // first `plain` load.
+  const std::uint32_t fork_pc = *program.fork_point;
+  sim::Pipeline pipeline(program, sim_config_);
+  energy::ProcessorEnergyModel model(params_);
+  analysis::Trace prefix;
+  energy::CycleActivity activity;
+  bool reached = false;
+  while (pipeline.step(activity)) {
+    prefix.push(model.cycle(activity) * 1e12);  // J -> pJ
+    if (activity.retired && activity.retire_pc == fork_pc) {
+      reached = true;
+      break;
+    }
+    if (pipeline.cycles() >= sim_config_.max_cycles) {
+      throw std::runtime_error(
+          "snapshot_des: fork marker not retired within the cycle budget");
+    }
+  }
+  if (!reached) {
+    throw std::runtime_error(
+        "snapshot_des: program halted before the fork marker retired");
+  }
+  // Capture before moving `program` out: Pipeline::snapshot() reads the
+  // program it references, and braced-init evaluates left to right.
+  sim::Snapshot machine = pipeline.snapshot();
+  const std::uint64_t fork_cycle = pipeline.cycles();
+  return DesSnapshot{std::move(program), std::move(machine), std::move(model),
+                     std::move(prefix), key, fork_cycle};
+}
+
+EncryptionRun MaskingPipeline::run_des_from(
+    const DesSnapshot& snapshot, std::uint64_t plaintext,
+    std::uint64_t stop_after_cycles) const {
+  // A budget ending at or before the fork point cannot reuse the captured
+  // prefix without overrunning it — fall back to a cold start so the
+  // emitted trace is never longer than requested.
+  if (stop_after_cycles != 0 && stop_after_cycles <= snapshot.fork_cycle) {
+    return run_des(snapshot.key, plaintext, stop_after_cycles);
+  }
+  if (snapshot.machine.text_size != masked_.program.text.size()) {
+    throw std::invalid_argument(
+        "run_des_from: snapshot was captured from a different program");
+  }
+  EncryptionRun run;
+  sim::Pipeline pipeline(snapshot.program, snapshot.machine);
+  des::poke_plaintext(pipeline.memory(), snapshot.program, plaintext);
+  energy::ProcessorEnergyModel model = snapshot.model;  // resume mid-trace
+  run.trace = snapshot.prefix;  // splice the shared prefix in front
+  if (stop_after_cycles == 0) {
+    run.sim = pipeline.run([&](const energy::CycleActivity& activity) {
+      run.trace.push(model.cycle(activity) * 1e12);  // J -> pJ
+    });
+    const assembler::DataSymbol* cipher =
+        snapshot.program.find_symbol("cipher");
+    if (cipher != nullptr && cipher->size_bytes >= 64 * 4) {
+      run.cipher = des::read_cipher(pipeline.memory(), snapshot.program);
+    }
+  } else {
+    energy::CycleActivity activity;
+    while (pipeline.cycles() < stop_after_cycles && pipeline.step(activity)) {
+      run.trace.push(model.cycle(activity) * 1e12);
+    }
+    run.sim = pipeline.result();
+  }
+  run.breakdown = model.breakdown();
+  return run;
 }
 
 EncryptionRun MaskingPipeline::run_raw() const { return simulate(masked_.program); }

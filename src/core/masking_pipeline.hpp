@@ -32,6 +32,24 @@ struct EncryptionRun {
   [[nodiscard]] double mean_pj_per_cycle() const { return trace.mean_pj(); }
 };
 
+/// The machine captured at the program's `fork` marker, plus everything a
+/// forked run needs to resume: the key-poked program copy the simulator
+/// references, the energy-model state mid-trace, and the shared prefix
+/// trace spliced in front of every forked trace.  Capture once per (key,
+/// program) with MaskingPipeline::snapshot_des, then fork any number of
+/// per-plaintext runs with run_des_from — each is bit-identical to the
+/// corresponding cold run_des call.  Immutable after capture; safe to share
+/// read-only across threads (memory forks copy-on-write at page
+/// granularity).
+struct DesSnapshot {
+  assembler::Program program;  // key poked; referenced by restored machines
+  sim::Snapshot machine;
+  energy::ProcessorEnergyModel model;  // state as of fork_cycle
+  analysis::Trace prefix;              // samples for cycles [0, fork_cycle)
+  std::uint64_t key = 0;
+  std::uint64_t fork_cycle = 0;  // cycle count at capture
+};
+
 class MaskingPipeline {
  public:
   /// Builds the DES program and applies `policy`.
@@ -57,6 +75,28 @@ class MaskingPipeline {
 
   /// Simulates the program as-is (non-DES sources).
   [[nodiscard]] EncryptionRun run_raw() const;
+
+  /// True when the compiled program declares a `fork` marker (the DES
+  /// generator emits one under DesAsmOptions::hoist_key_schedule).
+  [[nodiscard]] bool has_fork_point() const {
+    return masked_.program.fork_point.has_value();
+  }
+
+  /// Runs the shared, plaintext-independent prefix once — frame setup,
+  /// PC-1, the hoisted key schedule — and captures the machine at the cycle
+  /// the `fork` marker retires.  Throws if the program has no marker, or if
+  /// it halts (or exhausts the cycle budget) before reaching it.
+  [[nodiscard]] DesSnapshot snapshot_des(std::uint64_t key) const;
+
+  /// Forks one encryption from a snapshot: pokes `plaintext` into the
+  /// forked memory, resumes at the fork point, and returns a run whose
+  /// trace, sim counters, breakdown, and cipher are bit-identical to
+  /// run_des(snapshot.key, plaintext, stop_after_cycles).  A budget that
+  /// ends at or before the fork point falls back to a cold start, so the
+  /// trace is never longer than requested.
+  [[nodiscard]] EncryptionRun run_des_from(const DesSnapshot& snapshot,
+                                           std::uint64_t plaintext,
+                                           std::uint64_t stop_after_cycles = 0) const;
 
   /// Simulates an externally patched copy of the compiled program (e.g.
   /// after poking a new SHA-1 message block into its data image).  The

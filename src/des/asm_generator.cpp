@@ -208,6 +208,7 @@ class TextEmitter {
 
 std::string generate_des_asm(std::uint64_t key, std::uint64_t plaintext,
                              const DesAsmOptions& options) {
+  const bool hoist = options.hoist_key_schedule;
   Slots slots;
   for (const char* counter : {"var_i", "var_m", "var_n", "var_s", "var_t"}) {
     slots.declare(counter);
@@ -221,6 +222,7 @@ std::string generate_des_asm(std::uint64_t key, std::uint64_t plaintext,
         "prel_ps", "prel_pd", "sh_pt"}) {
     slots.declare(slot);
   }
+  if (hoist) slots.declare("ks_pb");  // base of the precomputed subkeys
 
   std::ostringstream os;
   os << "# DES encryption, bit-per-word layout (generated)\n";
@@ -233,6 +235,7 @@ std::string generate_des_asm(std::uint64_t key, std::uint64_t plaintext,
   os << "lr:      .space 256\n";   // L = lr[0..31], R = lr[32..63]
   os << "cd:      .space 224\n";   // C = cd[0..27], D = cd[28..55]
   os << "subkey:  .space 192\n";   // 48 bits of Km
+  if (hoist) os << "subkeys: .space 3072\n";  // all 16 x 48 bits, hoisted
   os << "er:      .space 192\n";   // E(R), then E(R) xor Km
   os << "sbval:   .space 128\n";   // raw S-box output bits
   os << "sout:    .space 128\n";   // f(R,K) after P
@@ -305,43 +308,97 @@ std::string generate_des_asm(std::uint64_t key, std::uint64_t plaintext,
   e.spill("prel_ps", "lr");
   e.spill("prel_pd", "preout", 128);
   e.spill("sh_pt", "shift_tab");
+  if (hoist) e.spill("ks_pb", "subkeys");
 
-  e.comment("initial permutation: lr[i] = plain[IP[i]]  (no secret involved)");
-  e.perm_loop("ip_loop", 64, "ip_pt", "ip_ps", "ip_pd");
+  // Rotate C and D by shift_tab[var_m]; `prefix` disambiguates the loop
+  // labels between the in-round and the hoisted key-schedule placement
+  // (empty prefix reproduces the classic program byte for byte).
+  const auto emit_rotations = [&](const std::string& prefix) {
+    e.line("lw   $t9, " + slots.at("var_m"));
+    e.line("sll  $t8, $t9, 2");
+    e.line("lw   $t0, " + slots.at("sh_pt"));
+    e.line("addu $t0, $t0, $t8");
+    e.line("lw   $t1, 0($t0)");  // rotation count (public; 0 in round 1 of
+    e.line("sw   $t1, " + slots.at("var_n"));  // the decryption schedule)
+    e.line("beq  $t1, $zero, " + prefix + "rot_done");
+    e.label(prefix + "rot_loop");
+    if (options.decrypt) {
+      e.rotate_once_right(prefix + "rot_c", "rotc_pb");
+      e.rotate_once_right(prefix + "rot_d", "rotd_pb");
+    } else {
+      e.rotate_once(prefix + "rot_c", "rotc_pb");
+      e.rotate_once(prefix + "rot_d", "rotd_pb");
+    }
+    e.line("lw   $t1, " + slots.at("var_n"));
+    e.line("addiu $t1, $t1, -1");
+    e.line("sw   $t1, " + slots.at("var_n"));
+    e.line("bne  $t1, $zero, " + prefix + "rot_loop");
+    e.label(prefix + "rot_done");
+  };
+
+  // var_m += 1; loop back while var_m != 16.
+  const auto emit_m_step = [&](const std::string& loop) {
+    e.line("lw   $t9, " + slots.at("var_m"));
+    e.line("addiu $t9, $t9, 1");
+    e.line("sw   $t9, " + slots.at("var_m"));
+    e.line("li   $k1, 16");
+    e.line("bne  $t9, $k1, " + loop);
+  };
+
+  // slots[dst_slot] = subkeys + var_m * 192 (the 48-word subkey of round m).
+  const auto emit_round_subkey_ptr = [&](const std::string& dst_slot) {
+    e.line("lw   $t9, " + slots.at("var_m"));
+    e.line("sll  $t0, $t9, 6");   // m * 64
+    e.line("sll  $t1, $t9, 7");   // m * 128
+    e.line("addu $t0, $t0, $t1");
+    e.line("lw   $t1, " + slots.at("ks_pb"));
+    e.line("addu $t0, $t0, $t1");
+    e.line("sw   $t0, " + slots.at(dst_slot));
+  };
+
+  if (!hoist) {
+    e.comment("initial permutation: lr[i] = plain[IP[i]]  (no secret involved)");
+    e.perm_loop("ip_loop", 64, "ip_pt", "ip_ps", "ip_pd");
+  }
 
   e.comment("key permutation PC-1: cd[i] = key[PC1[i]]  (secure: reads key)");
   e.perm_loop("pc1_loop", 56, "pc1_pt", "pc1_ps", "pc1_pd");
+
+  if (hoist) {
+    e.comment("hoisted key schedule: subkeys[m*48..] = PC2(rotate(C, D))");
+    e.comment("for every round, before any plaintext use");
+    e.line("sw   $zero, " + slots.at("var_m"));
+    e.label("ks_loop");
+    emit_rotations("ks_");
+    emit_round_subkey_ptr("pc2_pd");
+    e.comment("PC-2: subkeys[m*48 + i] = cd[PC2[i]]");
+    e.perm_loop("pc2_loop", 48, "pc2_pt", "pc2_ps", "pc2_pd");
+    emit_m_step("ks_loop");
+
+    e.comment("fork point: key schedule complete, plaintext untouched —");
+    e.comment("snapshot capture resumes per-plaintext runs from here");
+    e.line("fork");
+
+    e.comment("initial permutation: lr[i] = plain[IP[i]]  (no secret involved)");
+    e.perm_loop("ip_loop", 64, "ip_pt", "ip_ps", "ip_pd");
+  }
 
   e.comment("sixteen rounds; m lives in var_m");
   e.line("sw   $zero, " + slots.at("var_m"));
   e.label("round_loop");
 
-  e.comment(options.decrypt
-                ? "key generation: rotate C and D right by shift_tab[m]"
-                : "key generation: rotate C and D left by shift_tab[m]");
-  e.line("lw   $t9, " + slots.at("var_m"));
-  e.line("sll  $t8, $t9, 2");
-  e.line("lw   $t0, " + slots.at("sh_pt"));
-  e.line("addu $t0, $t0, $t8");
-  e.line("lw   $t1, 0($t0)");  // rotation count (public; 0 in round 1 of
-  e.line("sw   $t1, " + slots.at("var_n"));  // the decryption schedule)
-  e.line("beq  $t1, $zero, rot_done");
-  e.label("rot_loop");
-  if (options.decrypt) {
-    e.rotate_once_right("rot_c", "rotc_pb");
-    e.rotate_once_right("rot_d", "rotd_pb");
+  if (hoist) {
+    e.comment("select the precomputed round subkey: xor_pb = &subkeys[m*48]");
+    emit_round_subkey_ptr("xor_pb");
   } else {
-    e.rotate_once("rot_c", "rotc_pb");
-    e.rotate_once("rot_d", "rotd_pb");
-  }
-  e.line("lw   $t1, " + slots.at("var_n"));
-  e.line("addiu $t1, $t1, -1");
-  e.line("sw   $t1, " + slots.at("var_n"));
-  e.line("bne  $t1, $zero, rot_loop");
-  e.label("rot_done");
+    e.comment(options.decrypt
+                  ? "key generation: rotate C and D right by shift_tab[m]"
+                  : "key generation: rotate C and D left by shift_tab[m]");
+    emit_rotations("");
 
-  e.comment("PC-2: subkey[i] = cd[PC2[i]]");
-  e.perm_loop("pc2_loop", 48, "pc2_pt", "pc2_ps", "pc2_pd");
+    e.comment("PC-2: subkey[i] = cd[PC2[i]]");
+    e.perm_loop("pc2_loop", 48, "pc2_pt", "pc2_ps", "pc2_pd");
+  }
 
   e.comment("expansion: er[i] = R[E[i]]");
   e.perm_loop("e_loop", 48, "e_pt", "e_ps", "e_pd");
@@ -461,6 +518,19 @@ void poke_key(assembler::Program& program, std::uint64_t key) {
 
 void poke_plaintext(assembler::Program& program, std::uint64_t plaintext) {
   poke_block(program, "plain", plaintext);
+}
+
+void poke_plaintext(sim::DataMemory& memory, const assembler::Program& program,
+                    std::uint64_t plaintext) {
+  const assembler::DataSymbol* s = program.find_symbol("plain");
+  if (s == nullptr || s->size_bytes < 64 * 4) {
+    throw std::invalid_argument("poke_plaintext: no plain symbol");
+  }
+  for (unsigned i = 0; i < 64; ++i) {
+    memory.store_word(s->address + i * 4,
+                      static_cast<std::uint32_t>(
+                          util::bit_of64(plaintext, 63 - i)));
+  }
 }
 
 std::uint64_t read_cipher(const sim::DataMemory& memory,

@@ -33,6 +33,16 @@ struct DesAsmOptions {
   /// (rotate-right with the shift schedule 0,1,2,2,... so round m uses
   /// K(17-m)); everything else is identical to encryption.
   bool decrypt = false;
+  /// Hoist the complete key schedule (PC-1 plus all sixteen rotate/PC-2
+  /// rounds, stored to a `subkeys` array) ahead of any plaintext use, and
+  /// emit a `fork` marker between the schedule and the initial
+  /// permutation.  For a fixed key every trace then shares an identical,
+  /// plaintext-independent prefix up to the marker, which snapshot/fork
+  /// capture (core::MaskingPipeline::snapshot_des) amortizes across a
+  /// batch.  Off by default: the paper's program shape interleaves key
+  /// generation with the rounds (Fig. 2), and the figure reproductions
+  /// depend on that shape.
+  bool hoist_key_schedule = false;
 };
 
 /// Emits the complete assembly source for encrypting one block.
@@ -44,6 +54,12 @@ struct DesAsmOptions {
 /// image (so one assembly + compilation can serve many runs).
 void poke_key(assembler::Program& program, std::uint64_t key);
 void poke_plaintext(assembler::Program& program, std::uint64_t plaintext);
+
+/// Pokes the plaintext directly into a live simulator memory (used by the
+/// snapshot/fork path, where the machine is already past initialization and
+/// the program image can no longer seed it).
+void poke_plaintext(sim::DataMemory& memory, const assembler::Program& program,
+                    std::uint64_t plaintext);
 
 /// Packs the 64 bit-words of the `cipher` symbol from simulated memory.
 [[nodiscard]] std::uint64_t read_cipher(const sim::DataMemory& memory,

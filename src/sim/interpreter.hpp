@@ -8,9 +8,11 @@
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 
 #include "assembler/program.hpp"
+#include "isa/registers.hpp"
 #include "sim/memory.hpp"
 
 namespace emask::sim {

@@ -1,6 +1,5 @@
 #include "sim/memory.hpp"
 
-#include <algorithm>
 #include <cstdio>
 #include <stdexcept>
 #include <string>
@@ -18,11 +17,18 @@ std::string hex(std::uint32_t address) {
 
 DataMemory::DataMemory(const assembler::Program& program,
                        std::size_t size_bytes)
-    : bytes_(size_bytes, 0u) {
+    : size_(size_bytes) {
   if (program.data.size() > size_bytes) {
     throw std::invalid_argument("DataMemory: image larger than memory");
   }
-  std::copy(program.data.begin(), program.data.end(), bytes_.begin());
+  const std::size_t num_pages = (size_bytes + kPageBytes - 1) / kPageBytes;
+  pages_.reserve(num_pages);
+  for (std::size_t i = 0; i < num_pages; ++i) {
+    pages_.push_back(std::make_shared<Page>());  // value-initialized: zeros
+  }
+  for (std::size_t i = 0; i < program.data.size(); ++i) {
+    (*pages_[i / kPageBytes])[i % kPageBytes] = program.data[i];
+  }
 }
 
 void DataMemory::check(std::uint32_t address) const {
@@ -30,30 +36,51 @@ void DataMemory::check(std::uint32_t address) const {
     throw std::runtime_error("DataMemory: unaligned 4-byte word access at " +
                              hex(address));
   }
-  if (address < base() || address - base() + 4 > bytes_.size()) {
+  if (address < base() || address - base() + 4 > size_) {
     throw std::runtime_error(
         "DataMemory: 4-byte access outside memory at " + hex(address) +
         " (valid range [" + hex(base()) + ", " +
-        hex(base() + static_cast<std::uint32_t>(bytes_.size())) + "))");
+        hex(base() + static_cast<std::uint32_t>(size_)) + "))");
   }
+}
+
+DataMemory::Page& DataMemory::writable_page(std::size_t page_index) {
+  std::shared_ptr<Page>& slot = pages_[page_index];
+  // use_count() == 1 means this DataMemory is the sole owner: writing in
+  // place is safe.  Shared pages are never mutated — they are replaced by a
+  // private clone, so snapshots and sibling forks keep their view.
+  if (slot.use_count() > 1) slot = std::make_shared<Page>(*slot);
+  return *slot;
 }
 
 std::uint32_t DataMemory::load_word(std::uint32_t address) const {
   check(address);
   const std::size_t off = address - base();
-  return static_cast<std::uint32_t>(bytes_[off]) |
-         (static_cast<std::uint32_t>(bytes_[off + 1]) << 8) |
-         (static_cast<std::uint32_t>(bytes_[off + 2]) << 16) |
-         (static_cast<std::uint32_t>(bytes_[off + 3]) << 24);
+  const Page& page = *pages_[off / kPageBytes];
+  const std::size_t o = off % kPageBytes;
+  return static_cast<std::uint32_t>(page[o]) |
+         (static_cast<std::uint32_t>(page[o + 1]) << 8) |
+         (static_cast<std::uint32_t>(page[o + 2]) << 16) |
+         (static_cast<std::uint32_t>(page[o + 3]) << 24);
 }
 
 void DataMemory::store_word(std::uint32_t address, std::uint32_t value) {
   check(address);
   const std::size_t off = address - base();
-  bytes_[off] = static_cast<std::uint8_t>(value & 0xFF);
-  bytes_[off + 1] = static_cast<std::uint8_t>((value >> 8) & 0xFF);
-  bytes_[off + 2] = static_cast<std::uint8_t>((value >> 16) & 0xFF);
-  bytes_[off + 3] = static_cast<std::uint8_t>((value >> 24) & 0xFF);
+  Page& page = writable_page(off / kPageBytes);
+  const std::size_t o = off % kPageBytes;
+  page[o] = static_cast<std::uint8_t>(value & 0xFF);
+  page[o + 1] = static_cast<std::uint8_t>((value >> 8) & 0xFF);
+  page[o + 2] = static_cast<std::uint8_t>((value >> 16) & 0xFF);
+  page[o + 3] = static_cast<std::uint8_t>((value >> 24) & 0xFF);
+}
+
+bool DataMemory::shares_page_with(const DataMemory& other,
+                                  std::uint32_t address) const {
+  check(address);
+  other.check(address);
+  const std::size_t index = (address - base()) / kPageBytes;
+  return pages_[index].get() == other.pages_[index].get();
 }
 
 }  // namespace emask::sim

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "isa/encoding.hpp"
+
 namespace emask::sim {
 namespace {
 
@@ -108,6 +110,55 @@ Pipeline::Pipeline(const assembler::Program& program, SimConfig config)
     throw std::invalid_argument("Pipeline: empty program");
   }
   if (config_.dcache) dcache_.emplace(*config_.dcache);
+}
+
+Pipeline::Pipeline(const assembler::Program& program, const Snapshot& snapshot)
+    : program_(program),
+      config_(snapshot.config),
+      dmem_(snapshot.memory),  // copy-on-write: pages stay shared until written
+      regs_(snapshot.regs),
+      pc_(snapshot.pc),
+      if_id_(snapshot.if_id),
+      id_ex_(snapshot.id_ex),
+      ex_mem_(snapshot.ex_mem),
+      mem_wb_(snapshot.mem_wb),
+      cycles_(snapshot.cycles),
+      retired_(snapshot.retired),
+      stalls_(snapshot.stalls),
+      flushes_(snapshot.flushes),
+      dcache_(snapshot.dcache),
+      miss_stall_remaining_(snapshot.miss_stall_remaining),
+      halted_(snapshot.halted),
+      halt_seen_(snapshot.halt_seen) {
+  if (program_.text.empty()) {
+    throw std::invalid_argument("Pipeline: empty program");
+  }
+  if (snapshot.text_size != program_.text.size()) {
+    throw std::invalid_argument(
+        "Pipeline: snapshot was captured from a different program (text size " +
+        std::to_string(snapshot.text_size) + " vs " +
+        std::to_string(program_.text.size()) + ")");
+  }
+}
+
+Snapshot Pipeline::snapshot() const {
+  Snapshot s{config_, dmem_};
+  s.regs = regs_;
+  s.pc = pc_;
+  s.if_id = if_id_;
+  s.id_ex = id_ex_;
+  s.ex_mem = ex_mem_;
+  s.mem_wb = mem_wb_;
+  s.cycles = cycles_;
+  s.retired = retired_;
+  s.stalls = stalls_;
+  s.flushes = flushes_;
+  s.dcache = dcache_;
+  s.miss_stall_remaining = miss_stall_remaining_;
+  s.halted = halted_;
+  s.halt_seen = halt_seen_;
+  s.text_size = program_.text.size();
+  return s;
 }
 
 std::uint32_t Pipeline::forwarded(isa::Reg r, std::uint32_t id_value) const {

@@ -21,15 +21,14 @@
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <stdexcept>
 
-#include <optional>
-
 #include "assembler/program.hpp"
 #include "energy/activity.hpp"
-#include "isa/encoding.hpp"
+#include "isa/instruction.hpp"
 #include "sim/cache.hpp"
 #include "sim/memory.hpp"
 
@@ -64,9 +63,48 @@ struct SimResult {
   }
 };
 
+// Latched state between pipeline stages; `valid=false` is a bubble.  At
+// namespace scope (rather than nested in Pipeline) so sim::Snapshot can
+// carry them.
+struct IfIdLatch {
+  bool valid = false;
+  isa::Instruction inst;
+  std::uint64_t encoded = 0;
+  std::uint32_t pc = 0;
+};
+struct IdExLatch {
+  bool valid = false;
+  isa::Instruction inst;
+  std::uint32_t pc = 0;
+  std::uint32_t a = 0;  // rs value (or rt for shift-by-immediate)
+  std::uint32_t b = 0;  // rt value
+};
+struct ExMemLatch {
+  bool valid = false;
+  isa::Instruction inst;
+  std::uint32_t pc = 0;
+  std::uint32_t alu = 0;         // ALU result or memory address
+  std::uint32_t store_data = 0;  // rt value for stores
+};
+struct MemWbLatch {
+  bool valid = false;
+  isa::Instruction inst;
+  std::uint32_t pc = 0;
+  std::uint32_t value = 0;  // value to write back
+};
+
+struct Snapshot;
+
 class Pipeline {
  public:
   explicit Pipeline(const assembler::Program& program, SimConfig config = {});
+
+  /// Resumes a captured machine mid-run.  `program` must be the same text
+  /// the snapshot was taken from (checked by instruction count); the data
+  /// *image* may since have been poked only at addresses the pre-snapshot
+  /// prefix never touched — forked runs poke fresh inputs into memory(),
+  /// not into the program image.
+  Pipeline(const assembler::Program& program, const Snapshot& snapshot);
 
   /// Advances one clock.  Fills `activity` with what happened.  Returns
   /// false once the machine has halted (activity is then all-idle).
@@ -96,6 +134,13 @@ class Pipeline {
 
   SimResult run();
 
+  /// Captures the complete machine state — registers, PC, the four
+  /// inter-stage latches, cycle/retire/stall/flush counters, halt flags,
+  /// cache tags, and the data memory (shared copy-on-write, see
+  /// DataMemory) — so an identical Pipeline can be re-created later with
+  /// the restore constructor and stepped on bit-identically.
+  [[nodiscard]] Snapshot snapshot() const;
+
   [[nodiscard]] SimResult result() const {
     return SimResult{cycles_, retired_, stalls_, flushes_, halted_};
   }
@@ -109,33 +154,10 @@ class Pipeline {
   }
 
  private:
-  // Latched state between stages.  `valid=false` is a bubble.
-  struct IfId {
-    bool valid = false;
-    isa::Instruction inst;
-    std::uint64_t encoded = 0;
-    std::uint32_t pc = 0;
-  };
-  struct IdEx {
-    bool valid = false;
-    isa::Instruction inst;
-    std::uint32_t pc = 0;
-    std::uint32_t a = 0;  // rs value (or rt for shift-by-immediate)
-    std::uint32_t b = 0;  // rt value
-  };
-  struct ExMem {
-    bool valid = false;
-    isa::Instruction inst;
-    std::uint32_t pc = 0;
-    std::uint32_t alu = 0;         // ALU result or memory address
-    std::uint32_t store_data = 0;  // rt value for stores
-  };
-  struct MemWb {
-    bool valid = false;
-    isa::Instruction inst;
-    std::uint32_t pc = 0;
-    std::uint32_t value = 0;  // value to write back
-  };
+  using IfId = IfIdLatch;
+  using IdEx = IdExLatch;
+  using ExMem = ExMemLatch;
+  using MemWb = MemWbLatch;
 
   [[nodiscard]] std::uint32_t forwarded(isa::Reg r, std::uint32_t id_value) const;
 
@@ -158,6 +180,38 @@ class Pipeline {
   std::uint32_t miss_stall_remaining_ = 0;
   bool halted_ = false;
   bool halt_seen_ = false;  // a halt is in flight; stop fetching
+};
+
+/// Full machine state captured mid-run (see Pipeline::snapshot()).
+///
+/// The intended use is shared-prefix trace forking: run the machine once to
+/// a program-declared fork point (Program::fork_point — the `fork` marker
+/// the DES generator places between the key schedule and the first
+/// plaintext use), snapshot, then fork N per-input runs from the snapshot
+/// instead of re-simulating the identical prefix N times.  Because the
+/// snapshot carries *everything* the step function reads — including the
+/// in-flight latches and the microarchitectural counters — a restored
+/// Pipeline steps bit-identically to the original from the capture cycle
+/// on.  Memory is held copy-on-write, so a snapshot shared read-only
+/// across worker threads hands out forks at page granularity.
+struct Snapshot {
+  SimConfig config;
+  DataMemory memory;
+  std::array<std::uint32_t, isa::kNumRegisters> regs{};
+  std::uint32_t pc = 0;
+  IfIdLatch if_id;
+  IdExLatch id_ex;
+  ExMemLatch ex_mem;
+  MemWbLatch mem_wb;
+  std::uint64_t cycles = 0;
+  std::uint64_t retired = 0;
+  std::uint64_t stalls = 0;
+  std::uint64_t flushes = 0;
+  std::optional<DirectMappedCache> dcache;
+  std::uint32_t miss_stall_remaining = 0;
+  bool halted = false;
+  bool halt_seen = false;
+  std::size_t text_size = 0;  // sanity check against the restoring program
 };
 
 }  // namespace emask::sim

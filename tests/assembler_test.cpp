@@ -319,5 +319,35 @@ TEST(Assembler, PokeWordUpdatesImage) {
   EXPECT_THROW(p.poke_word(kDataBase + 4, 0), std::out_of_range);
 }
 
+TEST(Assembler, ForkMarkerRecordsInstructionIndex) {
+  const Program p = assemble(R"(
+main:
+  li $t0, 1
+  li $t1, 2
+  fork
+  addu $t2, $t0, $t1
+  halt
+)");
+  ASSERT_TRUE(p.fork_point.has_value());
+  EXPECT_EQ(*p.fork_point, 2u);
+  // The marker assembles to a retired no-op, so it costs one slot and one
+  // retirement but changes no architectural state.
+  EXPECT_EQ(p.text[*p.fork_point], isa::make_nop());
+  EXPECT_EQ(p.text.size(), 5u);
+}
+
+TEST(Assembler, NoForkMarkerMeansNoForkPoint) {
+  const Program p = assemble("main:\n  halt\n");
+  EXPECT_FALSE(p.fork_point.has_value());
+}
+
+TEST(Assembler, DuplicateForkMarkerRejected) {
+  EXPECT_THROW(assemble("main:\n  fork\n  fork\n  halt\n"), AsmError);
+}
+
+TEST(Assembler, ForkMarkerTakesNoOperands) {
+  EXPECT_THROW(assemble("main:\n  fork $t0\n  halt\n"), AsmError);
+}
+
 }  // namespace
 }  // namespace emask::assembler

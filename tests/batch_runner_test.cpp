@@ -193,5 +193,120 @@ TEST(BatchRunner, EffectiveThreadsClampsToBatchSize) {
   EXPECT_GE(runner.effective_threads(1), 1u);
 }
 
+// --- Shared-prefix snapshot/fork batches -------------------------------
+
+// A device whose program declares a fork marker (hoisted key schedule).
+const MaskingPipeline& forkable_device() {
+  static const MaskingPipeline p = [] {
+    des::DesAsmOptions opts;
+    opts.hoist_key_schedule = true;
+    return MaskingPipeline::des(compiler::Policy::kOriginal,
+                                energy::TechParams::smartcard_025um(), opts);
+  }();
+  return p;
+}
+
+BatchConfig full_config(std::size_t threads, SnapshotMode mode) {
+  BatchConfig bc;
+  bc.threads = threads;
+  bc.snapshot = mode;  // full runs (stop = 0): the fork path is exercised
+  return bc;
+}
+
+// The snapshot path obeys the same headline contract: any thread count,
+// with or without forking, produces the identical TraceSet — including
+// with per-index measurement noise on top.
+TEST(BatchRunnerSnapshot, ForkingIsBitIdenticalAcrossThreadCounts) {
+  const std::size_t kN = 6;
+  const InputGenerator gen = random_plaintexts(kKey, kSeed);
+  BatchRunner cold(forkable_device(), full_config(1, SnapshotMode::kOff));
+  const analysis::TraceSet reference = cold.capture(kN, gen);
+  EXPECT_EQ(cold.stats().snapshot_forks, 0u);
+  EXPECT_EQ(cold.stats().cold_starts, kN);
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    BatchRunner forked(forkable_device(),
+                       full_config(threads, SnapshotMode::kRequire));
+    const analysis::TraceSet set = forked.capture(kN, gen);
+    expect_identical(reference, set);
+    EXPECT_EQ(forked.stats().snapshot_forks, kN) << threads << " threads";
+    EXPECT_EQ(forked.stats().cold_starts, 0u);
+    EXPECT_GT(forked.stats().snapshot_prefix_cycles, 0u);
+  }
+}
+
+TEST(BatchRunnerSnapshot, NoisyForkedCaptureMatchesNoisyColdCapture) {
+  const std::size_t kN = 4;
+  BatchConfig cold_cfg = full_config(1, SnapshotMode::kOff);
+  cold_cfg.noise_sigma_pj = 2.0;
+  cold_cfg.noise_seed = 0x5EED;
+  BatchRunner cold(forkable_device(), cold_cfg);
+  const analysis::TraceSet reference =
+      cold.capture(kN, random_plaintexts(kKey, kSeed));
+  BatchConfig fork_cfg = cold_cfg;
+  fork_cfg.threads = 8;
+  fork_cfg.snapshot = SnapshotMode::kRequire;
+  BatchRunner forked(forkable_device(), fork_cfg);
+  const analysis::TraceSet set =
+      forked.capture(kN, random_plaintexts(kKey, kSeed));
+  expect_identical(reference, set);
+}
+
+// The snapshot is keyed to the batch's first input: other keys in the same
+// batch cold-start (and still come out right).
+TEST(BatchRunnerSnapshot, MixedKeysForkOnlyTheSnapshotKey) {
+  std::vector<BatchInput> inputs = {{kKey, 1}, {kKey ^ 1, 2}, {kKey, 3}};
+  BatchRunner runner(forkable_device(), full_config(2, SnapshotMode::kAuto));
+  const analysis::TraceSet set = runner.capture(inputs);
+  ASSERT_EQ(set.size(), 3u);
+  EXPECT_EQ(runner.stats().snapshot_forks, 2u);
+  EXPECT_EQ(runner.stats().cold_starts, 1u);
+  // The foreign-key trace matches its own cold single run.
+  const EncryptionRun direct = forkable_device().run_des(kKey ^ 1, 2);
+  EXPECT_EQ(set.traces[1].samples(), direct.trace.samples());
+}
+
+// A stop_after_cycles budget ending before the fork point silently falls
+// back to cold starts — the trace is never longer than requested.
+TEST(BatchRunnerSnapshot, StopBeforeForkPointFallsBackCold) {
+  BatchConfig bc = full_config(2, SnapshotMode::kRequire);
+  bc.stop_after_cycles = 100;  // well before the hoisted key schedule ends
+  BatchRunner runner(forkable_device(), bc);
+  const analysis::TraceSet set =
+      runner.capture(3, random_plaintexts(kKey, kSeed));
+  for (const auto& trace : set.traces) EXPECT_EQ(trace.size(), 100u);
+  EXPECT_EQ(runner.stats().snapshot_forks, 0u);
+  EXPECT_EQ(runner.stats().cold_starts, 3u);
+}
+
+// A custom run_function bypasses snapshotting cleanly under kAuto...
+TEST(BatchRunnerSnapshot, RunFunctionBypassesSnapshotting) {
+  BatchConfig bc = full_config(2, SnapshotMode::kAuto);
+  bc.run_function = [](const MaskingPipeline& dev, const BatchInput& in) {
+    return dev.run_des(in.key, in.plaintext);
+  };
+  BatchRunner runner(forkable_device(), bc);
+  const analysis::TraceSet set =
+      runner.capture(3, random_plaintexts(kKey, kSeed));
+  ASSERT_EQ(set.size(), 3u);
+  EXPECT_EQ(runner.stats().snapshot_forks, 0u);
+  EXPECT_EQ(runner.stats().cold_starts, 3u);
+  EXPECT_EQ(runner.stats().snapshot_prefix_cycles, 0u);
+}
+
+// ... and fails loudly under kRequire, as does a program with no marker.
+TEST(BatchRunnerSnapshot, RequireFailsLoudlyWhenItCannotSnapshot) {
+  BatchConfig with_fn = full_config(1, SnapshotMode::kRequire);
+  with_fn.run_function = [](const MaskingPipeline& dev, const BatchInput& in) {
+    return dev.run_des(in.key, in.plaintext);
+  };
+  BatchRunner bad_fn(forkable_device(), with_fn);
+  EXPECT_THROW((void)bad_fn.capture(2, random_plaintexts(kKey, kSeed)),
+               std::logic_error);
+
+  BatchRunner no_marker(device(), full_config(1, SnapshotMode::kRequire));
+  EXPECT_THROW((void)no_marker.capture(2, random_plaintexts(kKey, kSeed)),
+               std::logic_error);
+}
+
 }  // namespace
 }  // namespace emask::core

@@ -1,6 +1,8 @@
 // Core MaskingPipeline API behaviours.
 #include <gtest/gtest.h>
 
+#include <map>
+
 #include "assembler/assembler.hpp"
 #include "core/masking_pipeline.hpp"
 #include "core/phase_profile.hpp"
@@ -130,6 +132,105 @@ TEST(MaskingPipeline, PolicyAccessorsConsistent) {
     for (const auto& inst : p.program().text) n += inst.secure;
     return n;
   }());
+}
+
+// --- Shared-prefix snapshot/fork capture -------------------------------
+
+const MaskingPipeline& forkable(compiler::Policy policy) {
+  static std::map<compiler::Policy, MaskingPipeline> cache;
+  auto it = cache.find(policy);
+  if (it == cache.end()) {
+    des::DesAsmOptions opts;
+    opts.hoist_key_schedule = true;
+    it = cache.emplace(policy, MaskingPipeline::des(
+                                   policy,
+                                   energy::TechParams::smartcard_025um(),
+                                   opts))
+             .first;
+  }
+  return it->second;
+}
+
+constexpr std::uint64_t kKey = 0x133457799BBCDFF1ull;
+constexpr std::uint64_t kPlain = 0x0123456789ABCDEFull;
+
+// The hoisted program is still correct DES, and the selective compiler
+// still covers its whole slice (the hoisted key schedule introduces no
+// unsecurable operations).
+TEST(SnapshotFork, HoistedProgramEncryptsCorrectly) {
+  const MaskingPipeline& p = forkable(compiler::Policy::kSelective);
+  ASSERT_TRUE(p.has_fork_point());
+  EXPECT_TRUE(p.mask_result().slice.diagnostics.empty());
+  const EncryptionRun run = p.run_des(kKey, kPlain);
+  EXPECT_EQ(run.cipher, des::encrypt_block(kPlain, kKey));
+  EXPECT_EQ(run.cipher, 0x85E813540F0AB405ull);
+}
+
+// The headline contract: a forked run is bit-identical to a cold run —
+// trace samples, sim counters, breakdown, and ciphertext.
+TEST(SnapshotFork, ForkedRunIsBitIdenticalToColdRun) {
+  for (const auto policy :
+       {compiler::Policy::kOriginal, compiler::Policy::kSelective}) {
+    const MaskingPipeline& p = forkable(policy);
+    const DesSnapshot snap = p.snapshot_des(kKey);
+    EXPECT_GT(snap.fork_cycle, 0u);
+    EXPECT_EQ(snap.prefix.size(), snap.fork_cycle);
+    for (const std::uint64_t pt : {kPlain, std::uint64_t{0}, ~std::uint64_t{0}}) {
+      const EncryptionRun cold = p.run_des(kKey, pt);
+      const EncryptionRun forked = p.run_des_from(snap, pt);
+      EXPECT_EQ(forked.cipher, cold.cipher);
+      EXPECT_EQ(forked.cipher, des::encrypt_block(pt, kKey));
+      EXPECT_EQ(forked.sim.cycles, cold.sim.cycles);
+      EXPECT_EQ(forked.sim.instructions, cold.sim.instructions);
+      EXPECT_EQ(forked.sim.stalls, cold.sim.stalls);
+      EXPECT_EQ(forked.trace.samples(), cold.trace.samples());
+      EXPECT_EQ(forked.breakdown.total(), cold.breakdown.total());
+    }
+  }
+}
+
+// One snapshot serves many forks without interference (copy-on-write: no
+// fork ever mutates the captured memory).
+TEST(SnapshotFork, SnapshotIsReusableAcrossForks) {
+  const MaskingPipeline& p = forkable(compiler::Policy::kOriginal);
+  const DesSnapshot snap = p.snapshot_des(kKey);
+  util::Rng rng(0xF0F0);
+  for (int i = 0; i < 4; ++i) {
+    const std::uint64_t pt = rng.next_u64();
+    EXPECT_EQ(p.run_des_from(snap, pt).cipher, des::encrypt_block(pt, kKey));
+  }
+}
+
+// Budget boundaries around the fork point: a stop at or before the fork
+// cycle falls back to a cold start; either way the emitted trace is the
+// exact cold-run prefix, never longer than requested.
+TEST(SnapshotFork, StopAfterCyclesBoundary) {
+  const MaskingPipeline& p = forkable(compiler::Policy::kOriginal);
+  const DesSnapshot snap = p.snapshot_des(kKey);
+  const std::uint64_t fc = snap.fork_cycle;
+  ASSERT_GT(fc, 2u);
+  for (const std::uint64_t stop : {fc - 1, fc, fc + 1, fc + 500}) {
+    const EncryptionRun forked = p.run_des_from(snap, kPlain, stop);
+    const EncryptionRun cold = p.run_des(kKey, kPlain, stop);
+    EXPECT_EQ(forked.trace.size(), stop) << "stop " << stop;
+    EXPECT_EQ(forked.trace.samples(), cold.trace.samples())
+        << "stop " << stop;
+    EXPECT_EQ(forked.sim.cycles, cold.sim.cycles) << "stop " << stop;
+  }
+}
+
+// Misuse is caught loudly.
+TEST(SnapshotFork, SnapshotWithoutForkMarkerThrows) {
+  const auto plain = MaskingPipeline::des(compiler::Policy::kOriginal);
+  EXPECT_FALSE(plain.has_fork_point());
+  EXPECT_THROW((void)plain.snapshot_des(kKey), std::logic_error);
+}
+
+TEST(SnapshotFork, ForeignSnapshotRejected) {
+  const MaskingPipeline& p = forkable(compiler::Policy::kOriginal);
+  const DesSnapshot snap = p.snapshot_des(kKey);
+  const auto other = MaskingPipeline::des(compiler::Policy::kOriginal);
+  EXPECT_THROW((void)other.run_des_from(snap, kPlain), std::invalid_argument);
 }
 
 }  // namespace

@@ -543,5 +543,110 @@ main:
   EXPECT_GT(cycles, 5u);
 }
 
+// A looping store-heavy program for the snapshot tests: writes i to out[i]
+// and accumulates the sum in $s0.
+const char* kSnapshotProgram = R"(
+.data
+out: .space 256
+.text
+main:
+  li $t0, 0
+  li $s0, 0
+  la $t1, out
+loop:
+  sll $t2, $t0, 2
+  addu $t3, $t1, $t2
+  sw $t0, 0($t3)
+  addu $s0, $s0, $t0
+  addiu $t0, $t0, 1
+  li $k1, 64
+  bne $t0, $k1, loop
+  halt
+)";
+
+// The snapshot contract: capture mid-run, restore into a fresh Pipeline,
+// and the continuation is bit-identical — same per-cycle activity, same
+// final registers, memory, and counters.
+TEST(PipelineSnapshot, RestoredContinuationIsBitIdentical) {
+  assembler::Program prog = assembler::assemble(kSnapshotProgram);
+  Pipeline original(prog);
+  energy::CycleActivity a;
+  for (int i = 0; i < 100; ++i) ASSERT_TRUE(original.step(a));
+  const Snapshot snap = original.snapshot();
+  EXPECT_EQ(snap.cycles, 100u);
+
+  Pipeline restored(prog, snap);
+  EXPECT_EQ(restored.cycles(), original.cycles());
+  energy::CycleActivity ao;
+  energy::CycleActivity ar;
+  while (true) {
+    const bool more_o = original.step(ao);
+    const bool more_r = restored.step(ar);
+    ASSERT_EQ(more_o, more_r);
+    if (!more_o) break;
+    // Per-cycle lockstep across every field the energy model consumes.
+    EXPECT_EQ(ao.fetch, ar.fetch);
+    EXPECT_EQ(ao.decode, ar.decode);
+    EXPECT_EQ(ao.rf_reads, ar.rf_reads);
+    EXPECT_EQ(ao.retired, ar.retired);
+    EXPECT_EQ(ao.retire_pc, ar.retire_pc);
+    EXPECT_EQ(ao.rf_write, ar.rf_write);
+  }
+  for (int r = 0; r < static_cast<int>(isa::kNumRegisters); ++r) {
+    EXPECT_EQ(original.reg(static_cast<isa::Reg>(r)),
+              restored.reg(static_cast<isa::Reg>(r)))
+        << "register " << r;
+  }
+  const SimResult ro = original.result();
+  const SimResult rr = restored.result();
+  EXPECT_EQ(ro.cycles, rr.cycles);
+  EXPECT_EQ(ro.instructions, rr.instructions);
+  EXPECT_EQ(ro.stalls, rr.stalls);
+  EXPECT_EQ(ro.flushes, rr.flushes);
+  const assembler::DataSymbol* out = prog.find_symbol("out");
+  ASSERT_NE(out, nullptr);
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(original.memory().load_word(out->address + i * 4),
+              restored.memory().load_word(out->address + i * 4));
+  }
+}
+
+// Restoring against a different program is a caught mistake, not silent
+// garbage.
+TEST(PipelineSnapshot, RestoreRejectsMismatchedProgram) {
+  assembler::Program prog = assembler::assemble(kSnapshotProgram);
+  Pipeline p(prog);
+  energy::CycleActivity a;
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(p.step(a));
+  const Snapshot snap = p.snapshot();
+  assembler::Program other = assembler::assemble("main:\n  halt\n");
+  EXPECT_THROW(Pipeline(other, snap), std::invalid_argument);
+}
+
+// Forked memory is copy-on-write at page granularity: a restored machine
+// shares every page with the snapshot until it writes, and a write clones
+// only the touched page.
+TEST(PipelineSnapshot, MemoryForksCopyOnWrite) {
+  assembler::Program prog = assembler::assemble(kSnapshotProgram);
+  Pipeline p(prog);
+  energy::CycleActivity a;
+  for (int i = 0; i < 20; ++i) ASSERT_TRUE(p.step(a));
+  const Snapshot snap = p.snapshot();
+  Pipeline forked(prog, snap);
+
+  const std::uint32_t base = forked.memory().base();
+  EXPECT_TRUE(forked.memory().shares_page_with(snap.memory, base));
+  EXPECT_TRUE(forked.memory().shares_page_with(snap.memory, base + 8192));
+
+  const std::uint32_t before = snap.memory.load_word(base);
+  forked.memory().store_word(base, before + 1);
+  // The written page is now private; an untouched page is still shared.
+  EXPECT_FALSE(forked.memory().shares_page_with(snap.memory, base));
+  EXPECT_TRUE(forked.memory().shares_page_with(snap.memory, base + 8192));
+  // The snapshot's view is unchanged (the fork cloned, never mutated).
+  EXPECT_EQ(snap.memory.load_word(base), before);
+  EXPECT_EQ(forked.memory().load_word(base), before + 1);
+}
+
 }  // namespace
 }  // namespace emask::sim
