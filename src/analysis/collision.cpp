@@ -1,0 +1,129 @@
+#include "analysis/collision.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "des/des.hpp"
+
+namespace emask::analysis {
+
+double CollisionResult::margin() const {
+  return margin_over_runner_up(score_per_guess.data(), score_per_guess.size(),
+                               best_guess, best_score);
+}
+
+CollisionAttack::CollisionAttack(const CollisionConfig& config)
+    : config_(config), window_(config.window_begin, config.window_end) {
+  if (config.sbox < 0 || config.sbox > 7) {
+    throw std::invalid_argument("CollisionAttack: sbox in 0..7");
+  }
+}
+
+void CollisionAttack::add_trace(std::uint64_t plaintext, const Trace& trace) {
+  const std::size_t begin = window_.admit(trace, "CollisionAttack");
+  const std::uint8_t e = des::round1_sbox_input(plaintext, config_.sbox);
+  auto& sums = class_sum_[e];
+  if (sums.empty()) sums.assign(window_.width(), 0.0);
+  ++traces_;
+  ++class_count_[e];
+  accumulate_window(trace, begin, window_.width(), sums.data());
+}
+
+CollisionResult CollisionAttack::solve() const {
+  CollisionResult result;
+  result.traces_used = traces_;
+  const std::size_t width = window_.width();
+  for (const std::size_t count : class_count_) {
+    if (count > 0) ++result.classes_seen;
+  }
+  if (result.classes_seen < 2 || width == 0) return result;
+
+  // Class means, then remove the per-cycle mean across observed classes:
+  // what is left of M'_e is only the part of the trace that *depends on e*
+  // — the common program shape (identical for every class) cancels, so the
+  // pairwise correlations below compare data-dependent behavior only.
+  std::array<std::vector<double>, 64> mean;
+  std::vector<double> grand(width, 0.0);
+  for (int e = 0; e < 64; ++e) {
+    if (class_count_[static_cast<std::size_t>(e)] == 0) continue;
+    const auto n =
+        static_cast<double>(class_count_[static_cast<std::size_t>(e)]);
+    auto& m = mean[static_cast<std::size_t>(e)];
+    m.resize(width);
+    for (std::size_t i = 0; i < width; ++i) {
+      m[i] = class_sum_[static_cast<std::size_t>(e)][i] / n;
+      grand[i] += m[i];
+    }
+  }
+  const auto classes = static_cast<double>(result.classes_seen);
+  for (std::size_t i = 0; i < width; ++i) grand[i] /= classes;
+  std::array<double, 64> norm{};  // centered means' L2 norms
+  for (int e = 0; e < 64; ++e) {
+    auto& m = mean[static_cast<std::size_t>(e)];
+    if (m.empty()) continue;
+    double mean_of_m = 0.0;
+    for (std::size_t i = 0; i < width; ++i) {
+      m[i] -= grand[i];
+      mean_of_m += m[i];
+    }
+    mean_of_m /= static_cast<double>(width);
+    double ss = 0.0;
+    for (std::size_t i = 0; i < width; ++i) {
+      m[i] -= mean_of_m;  // Pearson: center across cycles too
+      ss += m[i] * m[i];
+    }
+    norm[static_cast<std::size_t>(e)] = std::sqrt(ss);
+  }
+
+  // All C(64,2) pairwise correlations once; every guess then averages 96
+  // table lookups.  A pair with a (near-)zero-variation member — a masked
+  // device levels all classes — contributes 0, never NaN.
+  std::array<std::array<double, 64>, 64> rho{};
+  for (int e1 = 0; e1 < 64; ++e1) {
+    const auto& m1 = mean[static_cast<std::size_t>(e1)];
+    if (m1.empty()) continue;
+    for (int e2 = e1 + 1; e2 < 64; ++e2) {
+      const auto& m2 = mean[static_cast<std::size_t>(e2)];
+      if (m2.empty()) continue;
+      const double nn = norm[static_cast<std::size_t>(e1)] *
+                        norm[static_cast<std::size_t>(e2)];
+      if (nn <= 0.0) continue;
+      double dot = 0.0;
+      for (std::size_t i = 0; i < width; ++i) dot += m1[i] * m2[i];
+      const double r = dot / nn;
+      rho[static_cast<std::size_t>(e1)][static_cast<std::size_t>(e2)] = r;
+      rho[static_cast<std::size_t>(e2)][static_cast<std::size_t>(e1)] = r;
+    }
+  }
+
+  for (int g = 0; g < 64; ++g) {
+    // Partition classes by the S-box output this guess predicts.
+    std::array<std::vector<int>, 16> cells;
+    for (int e = 0; e < 64; ++e) {
+      if (class_count_[static_cast<std::size_t>(e)] == 0) continue;
+      const std::uint8_t v = des::sbox_lookup(
+          config_.sbox, static_cast<std::uint8_t>(e ^ g));
+      cells[v].push_back(e);
+    }
+    double sum = 0.0;
+    std::size_t pairs = 0;
+    for (const auto& cell : cells) {
+      for (std::size_t i = 0; i < cell.size(); ++i) {
+        for (std::size_t j = i + 1; j < cell.size(); ++j) {
+          sum += rho[static_cast<std::size_t>(cell[i])]
+                    [static_cast<std::size_t>(cell[j])];
+          ++pairs;
+        }
+      }
+    }
+    const double score = pairs > 0 ? sum / static_cast<double>(pairs) : 0.0;
+    result.score_per_guess[static_cast<std::size_t>(g)] = score;
+    if (result.best_guess < 0 || score > result.best_score) {
+      result.best_score = score;
+      result.best_guess = g;
+    }
+  }
+  return result;
+}
+
+}  // namespace emask::analysis

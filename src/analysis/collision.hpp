@@ -1,0 +1,69 @@
+// Correlation-enhanced collision attack (Moradi-style, adapted to DES
+// round 1): no hypothetical power model at all.
+//
+// The public expanded-input chunk e feeding the target S-box takes 64
+// values; the attack averages every trace with the same e into a class
+// mean M_e.  Two classes e1 != e2 *collide* under key chunk k when
+// S(e1 ^ k) == S(e2 ^ k) — the card then computes identical S-box outputs
+// and their mean traces agree on every output-handling cycle.  DES S-boxes
+// are 4-to-1, so each key guess g predicts a partition of the 64 classes
+// into 16 cells of 4; the guess statistic is the average Pearson
+// correlation (across cycles, after removing the class-independent mean
+// trace shape) over the 96 predicted-collision pairs.  The true key
+// predicts exactly the pairs that really collide; every wrong guess mixes
+// colliding and non-colliding pairs.
+//
+// Because the statistic never models *how* the device leaks — only that
+// equal intermediates leak equally — it transfers across power models.
+// The flip side is that it needs class-mean variation to exist: on a
+// masked device the class means coincide and every guess scores zero.
+//
+// Caveat inherited from the S-boxes' affine self-equivalences: S4 obeys
+// S4(x ^ 0x2F) = ~S4(x), so its collision partition is identical for g
+// and g ^ 0x2F and S-box 4 cannot be resolved by collisions alone (the
+// default target is S-box 0, which has no such structure).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "analysis/generic_cpa.hpp"
+#include "analysis/trace.hpp"
+
+namespace emask::analysis {
+
+struct CollisionConfig {
+  int sbox = 0;  // target S-box of round 1, 0..7
+  std::size_t window_begin = 0;
+  std::size_t window_end = SIZE_MAX;
+};
+
+struct CollisionResult {
+  int best_guess = -1;
+  double best_score = 0.0;  // mean collision-pair correlation
+  std::array<double, 64> score_per_guess{};
+  std::size_t traces_used = 0;
+  std::size_t classes_seen = 0;  // distinct e values observed (<= 64)
+
+  [[nodiscard]] double margin() const;
+};
+
+/// Streaming collision accumulator: feed (plaintext, trace) pairs, then
+/// solve.
+class CollisionAttack {
+ public:
+  explicit CollisionAttack(const CollisionConfig& config);
+
+  void add_trace(std::uint64_t plaintext, const Trace& trace);
+  [[nodiscard]] CollisionResult solve() const;
+
+ private:
+  CollisionConfig config_;
+  TraceWindow window_;
+  std::size_t traces_ = 0;
+  std::array<std::vector<double>, 64> class_sum_;  // [e][cycle]
+  std::array<std::size_t, 64> class_count_{};
+};
+
+}  // namespace emask::analysis

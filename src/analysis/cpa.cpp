@@ -9,12 +9,8 @@
 namespace emask::analysis {
 
 double CpaResult::margin() const {
-  double runner_up = 0.0;
-  for (int g = 0; g < 64; ++g) {
-    if (g == best_guess) continue;
-    runner_up = std::max(runner_up, corr_per_guess[static_cast<std::size_t>(g)]);
-  }
-  return runner_up > 0.0 ? best_corr / runner_up : 0.0;
+  return margin_over_runner_up(corr_per_guess.data(), corr_per_guess.size(),
+                               best_guess, best_corr);
 }
 
 CpaAttack::CpaAttack(const CpaConfig& config)
@@ -26,10 +22,7 @@ CpaAttack::CpaAttack(const CpaConfig& config)
 }
 
 int CpaAttack::predict_weight(std::uint64_t plaintext, int sbox, int guess) {
-  const std::uint64_t ip = des::initial_permutation(plaintext);
-  const auto r0 = static_cast<std::uint32_t>(ip & 0xFFFFFFFFu);
-  const std::uint64_t er = des::expand(r0);
-  const auto six = static_cast<std::uint8_t>((er >> (42 - 6 * sbox)) & 0x3F);
+  const std::uint8_t six = des::round1_sbox_input(plaintext, sbox);
   const std::uint8_t out = des::sbox_lookup(
       sbox, static_cast<std::uint8_t>(six ^ static_cast<std::uint8_t>(guess)));
   return std::popcount(static_cast<unsigned>(out));

@@ -4,20 +4,18 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "analysis/generic_cpa.hpp"
 #include "des/des.hpp"
 
 namespace emask::analysis {
 
 double DpaResult::margin() const {
-  double runner_up = 0.0;
-  for (int g = 0; g < 64; ++g) {
-    if (g == best_guess) continue;
-    runner_up = std::max(runner_up, peak_per_guess[static_cast<std::size_t>(g)]);
-  }
-  return runner_up > 0.0 ? best_peak / runner_up : 0.0;
+  return margin_over_runner_up(peak_per_guess.data(), peak_per_guess.size(),
+                               best_guess, best_peak);
 }
 
-DpaAttack::DpaAttack(const DpaConfig& config) : config_(config) {
+DpaAttack::DpaAttack(const DpaConfig& config)
+    : config_(config), window_(config.window_begin, config.window_end) {
   if (config.sbox < 0 || config.sbox > 7 || config.bit < 0 || config.bit > 3) {
     throw std::invalid_argument("DpaAttack: sbox in 0..7, bit in 0..3");
   }
@@ -27,11 +25,7 @@ DpaAttack::DpaAttack(const DpaConfig& config) : config_(config) {
 
 int DpaAttack::predict_bit(std::uint64_t plaintext, int sbox, int bit,
                            int guess) {
-  const std::uint64_t ip = des::initial_permutation(plaintext);
-  const auto r0 = static_cast<std::uint32_t>(ip & 0xFFFFFFFFu);
-  const std::uint64_t er = des::expand(r0);
-  const auto six =
-      static_cast<std::uint8_t>((er >> (42 - 6 * sbox)) & 0x3F);
+  const std::uint8_t six = des::round1_sbox_input(plaintext, sbox);
   const std::uint8_t out = des::sbox_lookup(
       sbox, static_cast<std::uint8_t>(six ^ static_cast<std::uint8_t>(guess)));
   return (out >> (3 - bit)) & 1;
@@ -43,24 +37,18 @@ int DpaAttack::true_subkey_chunk(std::uint64_t key, int sbox) {
 }
 
 void DpaAttack::add_trace(std::uint64_t plaintext, const Trace& trace) {
-  const std::size_t begin = std::min(config_.window_begin, trace.size());
-  const std::size_t end = std::min(config_.window_end, trace.size());
-  const std::size_t w = end > begin ? end - begin : 0;
+  const std::size_t begin = window_.admit(trace, "DpaAttack");
   if (traces_ == 0) {
-    width_ = w;
-    total_sum_.assign(width_, 0.0);
-    for (auto& g : group1_sum_) g.assign(width_, 0.0);
-  }
-  if (w < width_) {
-    throw std::invalid_argument("DpaAttack: trace shorter than the window");
+    total_sum_.assign(window_.width(), 0.0);
+    for (auto& g : group1_sum_) g.assign(window_.width(), 0.0);
   }
   ++traces_;
-  for (std::size_t i = 0; i < width_; ++i) total_sum_[i] += trace[begin + i];
+  accumulate_window(trace, begin, window_.width(), total_sum_.data());
   for (int guess = 0; guess < 64; ++guess) {
     if (predict_bit(plaintext, config_.sbox, config_.bit, guess) == 1) {
-      auto& sums = group1_sum_[static_cast<std::size_t>(guess)];
       ++group1_count_[static_cast<std::size_t>(guess)];
-      for (std::size_t i = 0; i < width_; ++i) sums[i] += trace[begin + i];
+      accumulate_window(trace, begin, window_.width(),
+                        group1_sum_[static_cast<std::size_t>(guess)].data());
     }
   }
 }
@@ -69,14 +57,15 @@ DpaResult DpaAttack::solve() const {
   DpaResult result;
   result.traces_used = traces_;
   if (traces_ == 0) return result;
+  const std::size_t width = window_.width();
   for (int guess = 0; guess < 64; ++guess) {
     const std::size_t n1 = group1_count_[static_cast<std::size_t>(guess)];
     const std::size_t n0 = traces_ - n1;
     if (n1 == 0 || n0 == 0) continue;  // degenerate partition
     const auto& sums = group1_sum_[static_cast<std::size_t>(guess)];
     double peak = 0.0;
-    std::vector<double> dom(width_);
-    for (std::size_t i = 0; i < width_; ++i) {
+    std::vector<double> dom(width);
+    for (std::size_t i = 0; i < width; ++i) {
       const double mean1 = sums[i] / static_cast<double>(n1);
       const double mean0 =
           (total_sum_[i] - sums[i]) / static_cast<double>(n0);

@@ -3,23 +3,48 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 namespace emask::analysis {
 
-double GenericCpaResult::margin() const {
-  double runner_up = 0.0;
-  for (std::size_t g = 0; g < corr_per_guess.size(); ++g) {
-    if (static_cast<int>(g) == best_guess) continue;
-    runner_up = std::max(runner_up, corr_per_guess[g]);
+std::size_t TraceWindow::admit(const Trace& trace, const char* who) {
+  const std::size_t begin = std::min(begin_, trace.size());
+  const std::size_t end = std::min(end_, trace.size());
+  const std::size_t w = end > begin ? end - begin : 0;
+  if (admitted_ == 0) {
+    width_ = w;
+  } else if (w < width_) {
+    throw std::invalid_argument(std::string(who) +
+                                ": trace shorter than the window");
   }
-  return runner_up > 0.0 ? best_corr / runner_up : 0.0;
+  ++admitted_;
+  return begin;
+}
+
+void accumulate_window(const Trace& trace, std::size_t begin,
+                       std::size_t width, double* sums) {
+  for (std::size_t i = 0; i < width; ++i) sums[i] += trace[begin + i];
+}
+
+double margin_over_runner_up(const double* scores, std::size_t count,
+                             int best_guess, double best_score) {
+  double runner_up = 0.0;
+  for (std::size_t g = 0; g < count; ++g) {
+    if (static_cast<int>(g) == best_guess) continue;
+    runner_up = std::max(runner_up, scores[g]);
+  }
+  return runner_up > 0.0 ? best_score / runner_up : 0.0;
+}
+
+double GenericCpaResult::margin() const {
+  return margin_over_runner_up(corr_per_guess.data(), corr_per_guess.size(),
+                               best_guess, best_corr);
 }
 
 GenericCpa::GenericCpa(int num_guesses, std::size_t window_begin,
                        std::size_t window_end, bool signed_correlation)
     : num_guesses_(num_guesses),
-      begin_(window_begin),
-      end_(window_end),
+      window_(window_begin, window_end),
       signed_correlation_(signed_correlation) {
   if (num_guesses <= 0) {
     throw std::invalid_argument("GenericCpa: need at least one guess");
@@ -33,17 +58,12 @@ void GenericCpa::add_trace(const std::vector<int>& hypotheses,
   if (hypotheses.size() != static_cast<std::size_t>(num_guesses_)) {
     throw std::invalid_argument("GenericCpa: hypothesis count mismatch");
   }
-  const std::size_t begin = std::min(begin_, trace.size());
-  const std::size_t end = std::min(end_, trace.size());
-  const std::size_t w = end > begin ? end - begin : 0;
+  const std::size_t begin = window_.admit(trace, "GenericCpa");
   if (traces_ == 0) {
-    width_ = w;
-    sum_t_.assign(width_, 0.0);
-    sum_t2_.assign(width_, 0.0);
-    sum_ht_.assign(width_ * static_cast<std::size_t>(num_guesses_), 0.0);
-  }
-  if (w < width_) {
-    throw std::invalid_argument("GenericCpa: trace shorter than the window");
+    sum_t_.assign(window_.width(), 0.0);
+    sum_t2_.assign(window_.width(), 0.0);
+    sum_ht_.assign(window_.width() * static_cast<std::size_t>(num_guesses_),
+                   0.0);
   }
   ++traces_;
   for (int g = 0; g < num_guesses_; ++g) {
@@ -51,7 +71,8 @@ void GenericCpa::add_trace(const std::vector<int>& hypotheses,
     sum_h_[static_cast<std::size_t>(g)] += h;
     sum_h2_[static_cast<std::size_t>(g)] += h * h;
   }
-  for (std::size_t i = 0; i < width_; ++i) {
+  const std::size_t width = window_.width();
+  for (std::size_t i = 0; i < width; ++i) {
     const double t = trace[begin + i];
     sum_t_[i] += t;
     sum_t2_[i] += t * t;
@@ -62,18 +83,43 @@ void GenericCpa::add_trace(const std::vector<int>& hypotheses,
   }
 }
 
+std::vector<double> GenericCpa::correlation_series(int guess) const {
+  if (guess < 0 || guess >= num_guesses_) {
+    throw std::invalid_argument("GenericCpa: guess out of range");
+  }
+  const std::size_t width = window_.width();
+  std::vector<double> series(width, 0.0);
+  if (traces_ < 2) return series;
+  const auto n = static_cast<double>(traces_);
+  const double sh = sum_h_[static_cast<std::size_t>(guess)];
+  const double var_h = sum_h2_[static_cast<std::size_t>(guess)] - sh * sh / n;
+  if (var_h <= 0.0) return series;
+  for (std::size_t i = 0; i < width; ++i) {
+    const double st = sum_t_[i];
+    const double var_t = sum_t2_[i] - st * st / n;
+    if (var_t <= 1e-10 * sum_t2_[i]) continue;
+    const double cov =
+        sum_ht_[i * static_cast<std::size_t>(num_guesses_) +
+                static_cast<std::size_t>(guess)] -
+        sh * st / n;
+    series[i] = cov / std::sqrt(var_h * var_t);
+  }
+  return series;
+}
+
 GenericCpaResult GenericCpa::solve() const {
   GenericCpaResult result;
   result.traces_used = traces_;
   result.corr_per_guess.assign(static_cast<std::size_t>(num_guesses_), 0.0);
   if (traces_ < 2) return result;
   const auto n = static_cast<double>(traces_);
+  const std::size_t width = window_.width();
   for (int g = 0; g < num_guesses_; ++g) {
     const double sh = sum_h_[static_cast<std::size_t>(g)];
     const double var_h = sum_h2_[static_cast<std::size_t>(g)] - sh * sh / n;
     if (var_h <= 0.0) continue;
     double peak = 0.0;
-    for (std::size_t i = 0; i < width_; ++i) {
+    for (std::size_t i = 0; i < width; ++i) {
       const double st = sum_t_[i];
       const double var_t = sum_t2_[i] - st * st / n;
       // Relative threshold: constant-energy (masked) cycles leave only

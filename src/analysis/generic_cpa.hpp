@@ -4,7 +4,10 @@
 // Hamming weight) for every candidate guess; the engine maintains the
 // sufficient statistics for the Pearson correlation between hypothesis and
 // measured energy at every cycle, per guess.  DES (64 subkey guesses) and
-// AES (256 key-byte guesses) attacks are thin wrappers over this.
+// AES (256 key-byte guesses) attacks are thin wrappers over this, and the
+// shared TraceWindow / accumulate_window / margin helpers below carry the
+// windowed-accumulation idiom into the mean-based attacks (DPA, collision)
+// without a third copy of the inner loops.
 #pragma once
 
 #include <cstddef>
@@ -13,6 +16,43 @@
 #include "analysis/trace.hpp"
 
 namespace emask::analysis {
+
+/// Shared trace-window bookkeeping for every streaming attack: clamps a
+/// configured [begin, end) cycle range to each incoming trace, fixes the
+/// window width on the first trace, and rejects later traces too short to
+/// fill it (a truncated capture would silently skew running sums).
+class TraceWindow {
+ public:
+  TraceWindow(std::size_t begin = 0, std::size_t end = SIZE_MAX)
+      : begin_(begin), end_(end) {}
+
+  /// Admits one trace: returns the absolute cycle index the window starts
+  /// at.  The first admitted trace fixes width(); subsequent traces must
+  /// cover at least that many cycles or `who` throws.
+  std::size_t admit(const Trace& trace, const char* who);
+
+  /// Window length in cycles; 0 until the first trace is admitted.
+  [[nodiscard]] std::size_t width() const { return width_; }
+  [[nodiscard]] std::size_t admitted() const { return admitted_; }
+
+ private:
+  std::size_t begin_;
+  std::size_t end_;
+  std::size_t width_ = 0;
+  std::size_t admitted_ = 0;
+};
+
+/// sums[i] += trace[begin + i] for i in [0, width): the windowed
+/// accumulation inner loop shared by the mean-based attacks.
+void accumulate_window(const Trace& trace, std::size_t begin,
+                       std::size_t width, double* sums);
+
+/// Winner's score over the runner-up's (>1 = clean recovery; 0 when the
+/// runner-up is non-positive).  The tie-break-free margin every attack
+/// result reports.
+[[nodiscard]] double margin_over_runner_up(const double* scores,
+                                           std::size_t count, int best_guess,
+                                           double best_score);
 
 struct GenericCpaResult {
   int best_guess = -1;
@@ -42,13 +82,17 @@ class GenericCpa {
   [[nodiscard]] GenericCpaResult solve() const;
   [[nodiscard]] int num_guesses() const { return num_guesses_; }
 
+  /// Per-cycle Pearson rho for one guess over the admitted window
+  /// (constant-energy cycles report 0).  Lets callers reason about *where*
+  /// a hypothesis correlates — MLPA reads the signed rho at the peak-|rho|
+  /// cycle, where solve()'s window-max would blur sign information.
+  [[nodiscard]] std::vector<double> correlation_series(int guess) const;
+
  private:
   int num_guesses_;
-  std::size_t begin_;
-  std::size_t end_;
+  TraceWindow window_;
   bool signed_correlation_;
   std::size_t traces_ = 0;
-  std::size_t width_ = 0;
   std::vector<double> sum_t_;
   std::vector<double> sum_t2_;
   std::vector<double> sum_h_;   // [guess]

@@ -1,0 +1,195 @@
+#include "analysis/mlpa.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+#include "des/des.hpp"
+
+namespace emask::analysis {
+namespace {
+
+int parity6(int v) { return std::popcount(static_cast<unsigned>(v)) & 1; }
+
+/// GF(2) rank of the in_masks in `set`, treating each 6-bit mask as a row.
+int mask_rank(const std::vector<LinearApprox>& set) {
+  std::array<int, 6> basis{};
+  int rank = 0;
+  for (const LinearApprox& ap : set) {
+    int v = ap.in_mask;
+    for (int b = 5; b >= 0; --b) {
+      if (((v >> b) & 1) == 0) continue;
+      if (basis[static_cast<std::size_t>(b)] == 0) {
+        basis[static_cast<std::size_t>(b)] = v;
+        ++rank;
+        v = 0;
+        break;
+      }
+      v ^= basis[static_cast<std::size_t>(b)];
+    }
+  }
+  return rank;
+}
+
+bool raises_rank(std::vector<LinearApprox> set, const LinearApprox& ap) {
+  const int before = mask_rank(set);
+  set.push_back(ap);
+  return mask_rank(set) > before;
+}
+
+}  // namespace
+
+double sbox_linear_bias(int sbox, int in_mask, int out_mask) {
+  int agree = 0;
+  for (int x = 0; x < 64; ++x) {
+    const int in_parity = parity6(in_mask & x);
+    const int out_parity = parity6(
+        out_mask & des::sbox_lookup(sbox, static_cast<std::uint8_t>(x)));
+    agree += (in_parity == out_parity) ? 1 : 0;
+  }
+  return (static_cast<double>(agree) - 32.0) / 64.0;
+}
+
+std::vector<LinearApprox> select_approximations(int sbox,
+                                                std::size_t max_count) {
+  if (sbox < 0 || sbox > 7) {
+    throw std::invalid_argument("select_approximations: sbox in 0..7");
+  }
+  if (max_count == 0) {
+    throw std::invalid_argument(
+        "select_approximations: need at least one approximation");
+  }
+  // Candidates: one approximation per multi-bit input mask — its dominant
+  // single-output-bit coefficient (see the header for why other shapes are
+  // blind here).  One per mask, because every (a, b) pair with the same a
+  // shares the same selection function and thus the same correlation
+  // series: a second out_mask adds no evidence, only a second (possibly
+  // contradictory) interpretation of the same series.
+  std::vector<LinearApprox> candidates;
+  for (int a = 1; a < 64; ++a) {
+    if (std::popcount(static_cast<unsigned>(a)) < 2) continue;
+    LinearApprox ap;
+    ap.sbox = sbox;
+    ap.in_mask = a;
+    for (int bit = 3; bit >= 0; --bit) {
+      const double bias = sbox_linear_bias(sbox, a, 1 << bit);
+      if (std::abs(bias) > std::abs(ap.bias)) {
+        ap.out_mask = 1 << bit;
+        ap.bias = bias;
+      }
+    }
+    if (ap.bias != 0.0) candidates.push_back(ap);
+  }
+  // Highest |bias| first; ties resolve by (in_mask, out_mask) so the set is
+  // a pure function of (sbox, max_count).
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const LinearApprox& x, const LinearApprox& y) {
+                     const double ax = std::abs(x.bias);
+                     const double ay = std::abs(y.bias);
+                     if (ax != ay) return ax > ay;
+                     if (x.in_mask != y.in_mask) return x.in_mask < y.in_mask;
+                     return x.out_mask < y.out_mask;
+                   });
+  std::vector<LinearApprox> selected;
+  for (const LinearApprox& ap : candidates) {
+    if (selected.size() >= max_count) break;
+    selected.push_back(ap);
+  }
+  // Span completion: keep walking down the ranking, taking any candidate
+  // whose in_mask grows the GF(2) span, until the span is all of GF(2)^6 —
+  // otherwise some wrong guess would tie the true key exactly.
+  for (const LinearApprox& ap : candidates) {
+    if (mask_rank(selected) == 6) break;
+    if (raises_rank(selected, ap)) selected.push_back(ap);
+  }
+  if (mask_rank(selected) != 6) {
+    throw std::logic_error(
+        "select_approximations: candidate in_masks do not span GF(2)^6");
+  }
+  return selected;
+}
+
+double MlpaResult::margin() const {
+  return margin_over_runner_up(score_per_guess.data(), score_per_guess.size(),
+                               best_guess, best_score);
+}
+
+MlpaAttack::MlpaAttack(const MlpaConfig& config)
+    : config_(config),
+      approx_(select_approximations(config.sbox, config.max_approx)) {
+  engines_.reserve(approx_.size());
+  for (std::size_t j = 0; j < approx_.size(); ++j) {
+    engines_.emplace_back(1, config.window_begin, config.window_end);
+  }
+}
+
+int MlpaAttack::selection_parity(std::uint64_t plaintext, int sbox,
+                                 int in_mask) {
+  return parity6(in_mask & des::round1_sbox_input(plaintext, sbox));
+}
+
+void MlpaAttack::add_trace(std::uint64_t plaintext, const Trace& trace) {
+  const std::uint8_t six = des::round1_sbox_input(plaintext, config_.sbox);
+  std::vector<int> hyp(1);
+  for (std::size_t j = 0; j < approx_.size(); ++j) {
+    hyp[0] = parity6(approx_[j].in_mask & six);
+    engines_[j].add_trace(hyp, trace);
+  }
+}
+
+MlpaResult MlpaAttack::solve() const {
+  MlpaResult result;
+  // Per-output-bit coherent combining.  For each approximation, guess g
+  // claims the match direction f_j(g) = parity(a_j & g) ^ (eps_j < 0); its
+  // correlation series contributes (-1)^f_j(g) * rho_j(c) at every cycle.
+  // Summing those signed series over all approximations that target the
+  // same output bit, then taking the best cycle of the sum, makes the
+  // statistic a *coherent* one: at g = k every term is positive at the
+  // cycle where that bit's leakage lives, while any wrong guess flips a
+  // subset of the terms and cancels at every cycle.  Reading each series
+  // at its own peak cycle instead would trust single-mask peaks, and a
+  // mask whose second-largest LAT coefficient has the opposite sign can
+  // peak (through noise) on the *other* bit's cycle and vote backwards.
+  std::vector<std::vector<double>> series(approx_.size());
+  for (std::size_t j = 0; j < approx_.size(); ++j) {
+    const GenericCpaResult r = engines_[j].solve();
+    result.traces_used = r.traces_used;
+    if (r.traces_used < 2) return result;
+    series[j] = engines_[j].correlation_series(0);
+  }
+  const std::size_t width = series.empty() ? 0 : series[0].size();
+  std::vector<double> combined(width);
+  for (int g = 0; g < 64; ++g) {
+    double total = 0.0;
+    for (int bit = 0; bit < 4; ++bit) {
+      std::fill(combined.begin(), combined.end(), 0.0);
+      bool any = false;
+      for (std::size_t j = 0; j < approx_.size(); ++j) {
+        if (approx_[j].out_mask != (1 << bit)) continue;
+        any = true;
+        const int sign_bit = approx_[j].bias < 0.0 ? 1 : 0;
+        const int f = (parity6(approx_[j].in_mask & g) ^ sign_bit) & 1;
+        const double s = (f == 0) ? 1.0 : -1.0;
+        for (std::size_t c = 0; c < width; ++c) combined[c] += s * series[j][c];
+      }
+      if (!any) continue;
+      double best = 0.0;
+      for (const double v : combined) best = std::max(best, v);
+      total += best;
+    }
+    result.score_per_guess[static_cast<std::size_t>(g)] = total;
+  }
+  result.best_guess = 0;
+  result.best_score = result.score_per_guess[0];
+  for (int g = 1; g < 64; ++g) {
+    if (result.score_per_guess[static_cast<std::size_t>(g)] >
+        result.best_score) {
+      result.best_score = result.score_per_guess[static_cast<std::size_t>(g)];
+      result.best_guess = g;
+    }
+  }
+  return result;
+}
+
+}  // namespace emask::analysis

@@ -65,8 +65,24 @@ std::string_view analysis_artifact(Analysis a) {
     case Analysis::kCpa:
     case Analysis::kSecondOrder: return "guesses.csv";
     case Analysis::kTvla: return "t_per_cycle.csv";
+    case Analysis::kMlpa:
+    case Analysis::kCollision: return "disclosure.csv";
   }
   return "?";
+}
+
+bool analysis_has_disclosure(Analysis a) {
+  switch (a) {
+    case Analysis::kDpa:
+    case Analysis::kCpa:
+    case Analysis::kMlpa:
+    case Analysis::kCollision: return true;
+    default: return false;
+  }
+}
+
+std::string scenario_disclosure_path(const std::string& id) {
+  return "scenarios/" + id + "/disclosure.csv";
 }
 
 std::string scenario_result_path(const std::string& id) {

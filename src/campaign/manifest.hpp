@@ -131,13 +131,18 @@ struct PolicyRollup {
 
 /// Filename of the analysis-specific artifact CSV the runner writes beside
 /// result.csv: breakdown.csv (energy), guesses.csv (dpa/cpa/second_order),
-/// t_per_cycle.csv (tvla).
+/// t_per_cycle.csv (tvla), disclosure.csv (mlpa/collision).
 [[nodiscard]] std::string_view analysis_artifact(Analysis a);
+
+/// True for the key-ranking attacks whose scenarios additionally write a
+/// traces-to-disclosure curve (disclosure.csv) beside the main artifact.
+[[nodiscard]] bool analysis_has_disclosure(Analysis a);
 
 /// Artifact paths relative to a campaign output directory — the layout
 /// contract consumers (the report layer) join against.
 [[nodiscard]] std::string scenario_result_path(const std::string& id);
 [[nodiscard]] std::string scenario_artifact_path(const std::string& id,
                                                  Analysis a);
+[[nodiscard]] std::string scenario_disclosure_path(const std::string& id);
 
 }  // namespace emask::campaign

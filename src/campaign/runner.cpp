@@ -9,14 +9,18 @@
 
 #include "aes/aes128.hpp"
 #include "aes/asm_generator.hpp"
+#include "analysis/collision.hpp"
 #include "analysis/cpa.hpp"
+#include "analysis/disclosure.hpp"
 #include "analysis/dpa.hpp"
 #include "analysis/generic_cpa.hpp"
+#include "analysis/mlpa.hpp"
 #include "analysis/second_order.hpp"
 #include "analysis/trace_io.hpp"
 #include "analysis/tvla.hpp"
 #include "core/batch_runner.hpp"
 #include "core/masking_pipeline.hpp"
+#include "core/phase_profile.hpp"
 #include "energy/components.hpp"
 #include "sha/asm_generator.hpp"
 #include "util/csv.hpp"
@@ -142,6 +146,42 @@ void write_guesses_csv(const std::string& dir, const Scores& scores,
   csv.flush();
 }
 
+/// Samples a streaming attack's per-guess scores at the deterministic
+/// DisclosureCurve schedule.  The BatchRunner delivers captures to the
+/// sink in batch order regardless of thread count, so the mid-stream
+/// solves — and the resulting disclosure.csv — are byte-identical across
+/// --jobs values.
+class DisclosureRecorder {
+ public:
+  explicit DisclosureRecorder(std::size_t total)
+      : checkpoints_(analysis::DisclosureCurve::schedule(total)) {}
+
+  /// Call once per captured trace; `solve` yields the current 64 scores
+  /// and only runs at checkpoint trace counts.
+  template <typename Solve>
+  void sample(std::size_t index, Solve&& solve) {
+    if (next_ == checkpoints_.size() || index + 1 != checkpoints_[next_]) {
+      return;
+    }
+    curve_.add_checkpoint(index + 1, solve());
+    ++next_;
+  }
+
+  void write(const std::string& dir) const {
+    if (!curve_.empty()) curve_.write_csv(dir + "/disclosure.csv");
+  }
+
+ private:
+  std::vector<std::size_t> checkpoints_;
+  analysis::DisclosureCurve curve_;
+  std::size_t next_ = 0;
+};
+
+template <typename Scores>
+std::vector<double> as_scores(const Scores& scores) {
+  return std::vector<double>(scores.begin(), scores.end());
+}
+
 void fill_batch_stats(ScenarioResult& r, const core::BatchStats& stats) {
   r.encryptions += stats.encryptions;
   r.total_cycles += stats.total_cycles;
@@ -218,12 +258,16 @@ ScenarioResult CampaignRunner::execute(const Scenario& s,
       cfg.window_begin = s.window_begin;
       cfg.window_end = window_end;
       analysis::DpaAttack dpa(cfg);
+      DisclosureRecorder disclosure(s.traces);
       open_trace_writer(s.traces);
       runner.capture_each(s.traces, random_inputs,
-                          [&](std::size_t, const core::BatchInput& input,
+                          [&](std::size_t index, const core::BatchInput& input,
                               core::EncryptionRun& run) {
                             record_trace(input, run.trace);
                             dpa.add_trace(input.plaintext, run.trace);
+                            disclosure.sample(index, [&] {
+                              return as_scores(dpa.solve().peak_per_guess);
+                            });
                           });
       fill_batch_stats(r, runner.stats());
       const analysis::DpaResult result = dpa.solve();
@@ -233,6 +277,7 @@ ScenarioResult CampaignRunner::execute(const Scenario& s,
       r.success = r.best_guess == r.true_value;
       r.margin = result.margin();
       write_guesses_csv(dir, result.peak_per_guess, "dom_peak_pj");
+      disclosure.write(dir);
       break;
     }
     case Analysis::kCpa: {
@@ -241,12 +286,17 @@ ScenarioResult CampaignRunner::execute(const Scenario& s,
         cfg.window_begin = s.window_begin;
         cfg.window_end = window_end;
         analysis::CpaAttack cpa(cfg);
+        DisclosureRecorder disclosure(s.traces);
         open_trace_writer(s.traces);
         runner.capture_each(s.traces, random_inputs,
-                            [&](std::size_t, const core::BatchInput& input,
+                            [&](std::size_t index,
+                                const core::BatchInput& input,
                                 core::EncryptionRun& run) {
                               record_trace(input, run.trace);
                               cpa.add_trace(input.plaintext, run.trace);
+                              disclosure.sample(index, [&] {
+                                return as_scores(cpa.solve().corr_per_guess);
+                              });
                             });
         fill_batch_stats(r, runner.stats());
         const analysis::CpaResult result = cpa.solve();
@@ -257,6 +307,7 @@ ScenarioResult CampaignRunner::execute(const Scenario& s,
         r.success = r.best_guess == r.true_value;
         r.margin = result.margin();
         write_guesses_csv(dir, result.corr_per_guess, "abs_rho");
+        disclosure.write(dir);
       } else {
         // AES: classic first-round CPA on the Hamming weight of
         // sbox(pt[0] ^ guess), 256 guesses.
@@ -353,6 +404,65 @@ ScenarioResult CampaignRunner::execute(const Scenario& s,
       r.success = r.best_guess == r.true_value;
       r.margin = result.margin();
       write_guesses_csv(dir, result.peak_per_guess, "dom_peak_pj");
+      break;
+    }
+    case Analysis::kMlpa: {
+      analysis::MlpaConfig cfg;
+      const core::SboxWindow w =
+          core::des_round1_sbox_window(device.program(), cfg.sbox);
+      cfg.window_begin = w.valid() ? w.begin : s.window_begin;
+      cfg.window_end = w.valid() ? w.end : window_end;
+      analysis::MlpaAttack mlpa(cfg);
+      DisclosureRecorder disclosure(s.traces);
+      open_trace_writer(s.traces);
+      runner.capture_each(s.traces, random_inputs,
+                          [&](std::size_t index, const core::BatchInput& input,
+                              core::EncryptionRun& run) {
+                            record_trace(input, run.trace);
+                            mlpa.add_trace(input.plaintext, run.trace);
+                            disclosure.sample(index, [&] {
+                              return as_scores(mlpa.solve().score_per_guess);
+                            });
+                          });
+      fill_batch_stats(r, runner.stats());
+      const analysis::MlpaResult result = mlpa.solve();
+      r.metric = result.best_score;
+      r.best_guess = result.best_guess;
+      r.true_value = analysis::DpaAttack::true_subkey_chunk(s.key, cfg.sbox);
+      r.success = r.best_guess == r.true_value;
+      r.margin = result.margin();
+      write_guesses_csv(dir, result.score_per_guess, "mlpa_score");
+      disclosure.write(dir);
+      break;
+    }
+    case Analysis::kCollision: {
+      analysis::CollisionConfig cfg;
+      const core::SboxWindow w =
+          core::des_round1_sbox_window(device.program(), cfg.sbox);
+      cfg.window_begin = w.valid() ? w.begin : s.window_begin;
+      cfg.window_end = w.valid() ? w.end : window_end;
+      analysis::CollisionAttack collision(cfg);
+      DisclosureRecorder disclosure(s.traces);
+      open_trace_writer(s.traces);
+      runner.capture_each(
+          s.traces, random_inputs,
+          [&](std::size_t index, const core::BatchInput& input,
+              core::EncryptionRun& run) {
+            record_trace(input, run.trace);
+            collision.add_trace(input.plaintext, run.trace);
+            disclosure.sample(index, [&] {
+              return as_scores(collision.solve().score_per_guess);
+            });
+          });
+      fill_batch_stats(r, runner.stats());
+      const analysis::CollisionResult result = collision.solve();
+      r.metric = result.best_score;
+      r.best_guess = result.best_guess;
+      r.true_value = analysis::DpaAttack::true_subkey_chunk(s.key, cfg.sbox);
+      r.success = r.best_guess == r.true_value;
+      r.margin = result.margin();
+      write_guesses_csv(dir, result.score_per_guess, "collision_score");
+      disclosure.write(dir);
       break;
     }
   }

@@ -1,5 +1,6 @@
 #include "campaign/spec.hpp"
 
+#include <array>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -70,52 +71,94 @@ void check_known_keys(const IniFile::Section& section,
 
 }  // namespace
 
-std::string_view cipher_name(Cipher c) {
-  switch (c) {
-    case Cipher::kDes: return "des";
-    case Cipher::kAes: return "aes";
-    case Cipher::kSha1: return "sha1";
+// Single source of truth for every axis value: the *_name functions, the
+// *_from_name inverses, and the accepted-values list in their error
+// messages are all derived from these tables, so a new axis value added
+// here is automatically parseable and self-documenting.
+namespace {
+
+template <typename T>
+struct AxisName {
+  T value;
+  std::string_view name;
+};
+
+constexpr AxisName<Cipher> kCipherNames[] = {
+    {Cipher::kDes, "des"},
+    {Cipher::kAes, "aes"},
+    {Cipher::kSha1, "sha1"},
+};
+
+constexpr AxisName<Analysis> kAnalysisNames[] = {
+    {Analysis::kEnergy, "energy"},
+    {Analysis::kDpa, "dpa"},
+    {Analysis::kCpa, "cpa"},
+    {Analysis::kTvla, "tvla"},
+    {Analysis::kSecondOrder, "second_order"},
+    {Analysis::kMlpa, "mlpa"},
+    {Analysis::kCollision, "collision"},
+};
+
+// Policy names live with the masking compiler; reuse them rather than
+// keeping a second copy of the strings here.
+const std::array<AxisName<compiler::Policy>, 4>& policy_names_table() {
+  static const std::array<AxisName<compiler::Policy>, 4> table = {{
+      {compiler::Policy::kOriginal,
+       compiler::policy_name(compiler::Policy::kOriginal)},
+      {compiler::Policy::kSelective,
+       compiler::policy_name(compiler::Policy::kSelective)},
+      {compiler::Policy::kNaiveLoadStore,
+       compiler::policy_name(compiler::Policy::kNaiveLoadStore)},
+      {compiler::Policy::kAllSecure,
+       compiler::policy_name(compiler::Policy::kAllSecure)},
+  }};
+  return table;
+}
+
+template <typename T, typename Table>
+T axis_from_name(const Table& table, const std::string& name,
+                 const char* what) {
+  for (const AxisName<T>& entry : table) {
+    if (name == entry.name) return entry.value;
+  }
+  std::string accepted;
+  for (const AxisName<T>& entry : table) {
+    if (!accepted.empty()) accepted += '|';
+    accepted += entry.name;
+  }
+  throw SpecError("unknown " + std::string(what) + " '" + name +
+                  "' (expected " + accepted + ")");
+}
+
+template <typename T, typename Table>
+std::string_view axis_name(const Table& table, T value) {
+  for (const AxisName<T>& entry : table) {
+    if (value == entry.value) return entry.name;
   }
   return "?";
+}
+
+}  // namespace
+
+std::string_view cipher_name(Cipher c) {
+  return axis_name<Cipher>(kCipherNames, c);
 }
 
 std::string_view analysis_name(Analysis a) {
-  switch (a) {
-    case Analysis::kEnergy: return "energy";
-    case Analysis::kDpa: return "dpa";
-    case Analysis::kCpa: return "cpa";
-    case Analysis::kTvla: return "tvla";
-    case Analysis::kSecondOrder: return "second_order";
-  }
-  return "?";
+  return axis_name<Analysis>(kAnalysisNames, a);
 }
 
 Cipher cipher_from_name(const std::string& name) {
-  if (name == "des") return Cipher::kDes;
-  if (name == "aes") return Cipher::kAes;
-  if (name == "sha1") return Cipher::kSha1;
-  throw SpecError("unknown cipher '" + name + "' (expected des|aes|sha1)");
+  return axis_from_name<Cipher>(kCipherNames, name, "cipher");
 }
 
 Analysis analysis_from_name(const std::string& name) {
-  if (name == "energy") return Analysis::kEnergy;
-  if (name == "dpa") return Analysis::kDpa;
-  if (name == "cpa") return Analysis::kCpa;
-  if (name == "tvla") return Analysis::kTvla;
-  if (name == "second_order") return Analysis::kSecondOrder;
-  throw SpecError("unknown analysis '" + name +
-                  "' (expected energy|dpa|cpa|tvla|second_order)");
+  return axis_from_name<Analysis>(kAnalysisNames, name, "analysis");
 }
 
 compiler::Policy policy_from_name(const std::string& name) {
-  for (const compiler::Policy p :
-       {compiler::Policy::kOriginal, compiler::Policy::kSelective,
-        compiler::Policy::kNaiveLoadStore, compiler::Policy::kAllSecure}) {
-    if (name == compiler::policy_name(p)) return p;
-  }
-  throw SpecError("unknown policy '" + name +
-                  "' (expected original|selective|naive_loadstore|"
-                  "all_secure)");
+  return axis_from_name<compiler::Policy>(policy_names_table(), name,
+                                          "policy");
 }
 
 std::string fnv1a_hex(const std::string& text) {
@@ -358,6 +401,13 @@ std::vector<Scenario> CampaignSpec::expand() const {
                   cipher != Cipher::kDes) {
                 throw SpecError("analysis 'second_order' is DES-only");
               }
+              if ((analysis == Analysis::kMlpa ||
+                   analysis == Analysis::kCollision) &&
+                  cipher != Cipher::kDes) {
+                throw SpecError("analysis '" +
+                                std::string(analysis_name(analysis)) +
+                                "' is DES-only (round-1 S-box target)");
+              }
               if (analysis == Analysis::kCpa && cipher == Cipher::kSha1) {
                 throw SpecError(
                     "analysis 'cpa' needs a keyed hypothesis — sha1 "
@@ -366,7 +416,9 @@ std::vector<Scenario> CampaignSpec::expand() const {
               if ((analysis == Analysis::kDpa ||
                    analysis == Analysis::kCpa ||
                    analysis == Analysis::kSecondOrder ||
-                   analysis == Analysis::kTvla) &&
+                   analysis == Analysis::kTvla ||
+                   analysis == Analysis::kMlpa ||
+                   analysis == Analysis::kCollision) &&
                   count < 2) {
                 throw SpecError(
                     std::string("analysis '") +

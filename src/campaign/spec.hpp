@@ -16,7 +16,8 @@
 //   [axes]                         # each key is one axis; values are lists
 //   cipher = des                   # des | aes | sha1
 //   policy = original, selective, naive_loadstore, all_secure
-//   analysis = energy              # energy | dpa | cpa | tvla | second_order
+//   analysis = energy              # energy | dpa | cpa | tvla |
+//                                  # second_order | mlpa | collision
 //   noise = 0                      # Gaussian measurement noise sigma, pJ
 //   traces = 1                     # encryptions per scenario
 //   coupling = 0                   # adjacent-line bus coupling, fF
@@ -51,7 +52,15 @@ class SpecError : public std::runtime_error {
 };
 
 enum class Cipher { kDes, kAes, kSha1 };
-enum class Analysis { kEnergy, kDpa, kCpa, kTvla, kSecondOrder };
+enum class Analysis {
+  kEnergy,
+  kDpa,
+  kCpa,
+  kTvla,
+  kSecondOrder,
+  kMlpa,       // multi-linear power analysis (DES round 1, per-S-box)
+  kCollision,  // correlation-enhanced collision attack (no power model)
+};
 
 [[nodiscard]] std::string_view cipher_name(Cipher c);
 [[nodiscard]] std::string_view analysis_name(Analysis a);

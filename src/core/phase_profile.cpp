@@ -50,4 +50,34 @@ std::vector<PhaseEnergy> profile_phases(const MaskingPipeline& pipeline,
   return phases;
 }
 
+SboxWindow des_round1_sbox_window(const assembler::Program& program,
+                                  int sbox) {
+  SboxWindow w;
+  if (sbox < 0 || sbox > 7) return w;
+  const auto sbox_label = program.text_labels.find("sbox_loop");
+  const auto round_label = program.text_labels.find("round_loop");
+  if (sbox_label == program.text_labels.end() ||
+      round_label == program.text_labels.end()) {
+    return w;
+  }
+  std::vector<std::uint64_t> sboxes;
+  std::vector<std::uint64_t> rounds;
+  sim::Pipeline p(program);
+  energy::CycleActivity a;
+  // Round 2's first retirement of round_loop bounds S-box 7's window; no
+  // need to simulate further.
+  while (p.step(a) && rounds.size() < 2) {
+    if (!a.retired) continue;
+    if (a.retire_pc == sbox_label->second) sboxes.push_back(p.cycles());
+    if (a.retire_pc == round_label->second) rounds.push_back(p.cycles());
+  }
+  if (sboxes.size() < 8 || rounds.size() < 2) return w;
+  w.begin = static_cast<std::size_t>(sboxes[static_cast<std::size_t>(sbox)]);
+  w.end = sbox < 7
+              ? static_cast<std::size_t>(
+                    sboxes[static_cast<std::size_t>(sbox) + 1])
+              : static_cast<std::size_t>(rounds[1]);
+  return w;
+}
+
 }  // namespace emask::core

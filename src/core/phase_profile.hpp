@@ -33,4 +33,21 @@ struct PhaseEnergy {
 [[nodiscard]] std::vector<PhaseEnergy> profile_phases(
     const MaskingPipeline& pipeline, const assembler::Program& image);
 
+/// Round-1 cycle window [begin, end) of one DES S-box (0..7), located via
+/// the retire cycles of the assembly generator's `sbox_loop` /
+/// `round_loop` labels with a dry pipeline run (no energy model).  The
+/// per-S-box attacks (MLPA, collision) window this tightly because
+/// adjacent S-boxes share expansion bits, so their cycles plant ghost
+/// correlations for wrong guesses.  Returns begin == end == 0 when the
+/// program lacks the labels (non-generator DES source).
+struct SboxWindow {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+
+  [[nodiscard]] bool valid() const { return end > begin; }
+};
+
+[[nodiscard]] SboxWindow des_round1_sbox_window(
+    const assembler::Program& program, int sbox);
+
 }  // namespace emask::core

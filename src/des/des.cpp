@@ -131,6 +131,13 @@ std::vector<std::uint64_t> cbc_decrypt(
   return out;
 }
 
+std::uint8_t round1_sbox_input(std::uint64_t plaintext, int s) {
+  const std::uint64_t ip = initial_permutation(plaintext);
+  const auto r0 = static_cast<std::uint32_t>(ip & 0xFFFFFFFFu);
+  const std::uint64_t er = expand(r0);
+  return static_cast<std::uint8_t>((er >> (42 - 6 * s)) & 0x3F);
+}
+
 RoundState round_state(std::uint64_t plaintext, std::uint64_t key, int round) {
   const KeySchedule ks = key_schedule(key);
   const std::uint64_t ip = initial_permutation(plaintext);

@@ -63,6 +63,11 @@ struct KeySchedule {
 /// indexing: bits 1 and 6 select the row, bits 2..5 the column).
 [[nodiscard]] std::uint8_t sbox_lookup(int s, std::uint8_t six_bits);
 
+/// The public 6-bit expanded-input chunk feeding S-box `s` (0..7) in round
+/// 1: bits 42-6s..47-6s of E(R0).  Every first-round attack hypothesis
+/// (DPA, CPA, MLPA, collision) xors this with a guessed subkey chunk.
+[[nodiscard]] std::uint8_t round1_sbox_input(std::uint64_t plaintext, int s);
+
 /// L/R halves after `round` (1..16) of encrypting `plaintext` with `key`;
 /// used by the DPA engine to predict intermediate bits.
 struct RoundState {

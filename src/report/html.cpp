@@ -50,8 +50,58 @@ std::string_view metric_label(campaign::Analysis a) {
     case campaign::Analysis::kSecondOrder: return "|DoM| peak (pJ)";
     case campaign::Analysis::kCpa: return "max |rho|";
     case campaign::Analysis::kTvla: return "max |t|";
+    case campaign::Analysis::kMlpa: return "MLPA score";
+    case campaign::Analysis::kCollision: return "collision score";
   }
   return "metric";
+}
+
+bool has_column(const util::CsvTable& t, const char* name) {
+  return std::find(t.columns.begin(), t.columns.end(), name) !=
+         t.columns.end();
+}
+
+bool disclosure_table_usable(const util::CsvTable& t) {
+  return has_column(t, "traces") && has_column(t, "guess") &&
+         has_column(t, "rank");
+}
+
+/// The true guess's (traces, rank) points from a disclosure.csv table
+/// (checkpoint-major rows of traces,guess,rank,score).
+struct DisclosurePoints {
+  std::vector<double> traces;
+  std::vector<double> ranks;
+};
+
+DisclosurePoints true_guess_ranks(const util::CsvTable& t, int true_guess) {
+  DisclosurePoints p;
+  if (!disclosure_table_usable(t) || true_guess < 0) return p;
+  const std::size_t traces_col = t.column("traces");
+  const std::size_t guess_col = t.column("guess");
+  const std::size_t rank_col = t.column("rank");
+  for (const auto& row : t.rows) {
+    if (static_cast<int>(cell_to_double(row[guess_col])) != true_guess) {
+      continue;
+    }
+    p.traces.push_back(cell_to_double(row[traces_col]));
+    p.ranks.push_back(cell_to_double(row[rank_col]));
+  }
+  return p;
+}
+
+/// Earliest checkpoint trace count from which the rank stays 0 through the
+/// last checkpoint; 0 = never disclosed (mirrors
+/// analysis::DisclosureCurve::traces_to_disclosure on the CSV artifact).
+double disclosure_traces(const DisclosurePoints& p) {
+  double disclosed_at = 0.0;
+  for (std::size_t i = 0; i < p.ranks.size(); ++i) {
+    if (p.ranks[i] == 0.0) {
+      if (disclosed_at == 0.0) disclosed_at = p.traces[i];
+    } else {
+      disclosed_at = 0.0;
+    }
+  }
+  return disclosed_at;
 }
 
 /// Deterministic stride downsample so huge per-cycle series stay light.
@@ -267,6 +317,86 @@ void sweep_section(std::ostringstream& out, const Model& m) {
   out << "<h2>Sweeps</h2>\n" << body;
 }
 
+/// Traces-to-disclosure section: rank-evolution charts (the true guess's
+/// rank per trace-count checkpoint, one chart per attack kind with one
+/// series per scenario) plus the per-policy summary table.  Emitted only
+/// when attack scenarios carry a disclosure.csv artifact, so campaigns
+/// without one render byte-identically to before the curve existed.
+void disclosure_section(std::ostringstream& out, const Model& m) {
+  struct Row {
+    const ScenarioEntry* entry;
+    DisclosurePoints points;
+  };
+  std::vector<Row> rows;
+  for (const ScenarioEntry& e : m.scenarios) {
+    if (!e.disclosure_present) continue;
+    DisclosurePoints p = true_guess_ranks(e.disclosure, e.result.true_value);
+    if (p.traces.empty()) continue;
+    rows.push_back({&e, std::move(p)});
+  }
+  if (rows.empty()) return;
+
+  out << "<h2>Traces to disclosure</h2>\n"
+      << "<p>Rank of the true subkey chunk under each attack's statistic "
+         "as traces accumulate (rank 0 = the attack's current best guess). "
+         "The disclosure point is the earliest checkpoint from which the "
+         "true chunk holds rank 0 through the end of the acquisition.</p>\n";
+
+  std::vector<campaign::Analysis> kinds;
+  for (const Row& r : rows) {
+    if (std::find(kinds.begin(), kinds.end(), r.entry->scenario.analysis) ==
+        kinds.end()) {
+      kinds.push_back(r.entry->scenario.analysis);
+    }
+  }
+  for (const campaign::Analysis kind : kinds) {
+    LineChartSpec spec;
+    spec.title = std::string(campaign::analysis_name(kind)) +
+                 ": true-guess rank vs. traces";
+    spec.x_label = "traces";
+    spec.y_label = "rank of true guess";
+    for (const Row& r : rows) {
+      if (r.entry->scenario.analysis != kind) continue;
+      // Label by policy when it identifies the scenario uniquely within
+      // this chart, by full scenario id otherwise.
+      std::size_t same_policy = 0;
+      for (const Row& other : rows) {
+        if (other.entry->scenario.analysis == kind &&
+            other.entry->scenario.policy == r.entry->scenario.policy) {
+          ++same_policy;
+        }
+      }
+      LineSeries series;
+      series.label =
+          same_policy == 1
+              ? std::string(compiler::policy_name(r.entry->scenario.policy))
+              : r.entry->scenario.id;
+      series.xs = r.points.traces;
+      series.ys = r.points.ranks;
+      spec.series.push_back(std::move(series));
+    }
+    if (!spec.series.empty()) out << line_chart(spec) << "\n";
+  }
+
+  out << "<table>\n<tr><th class=\"l\">scenario</th><th class=\"l\">policy"
+         "</th><th class=\"l\">analysis</th><th>traces</th>"
+         "<th>traces to disclosure</th><th>final rank</th></tr>\n";
+  for (const Row& r : rows) {
+    const campaign::Scenario& s = r.entry->scenario;
+    const double disclosed = disclosure_traces(r.points);
+    out << "<tr><td class=\"l\"><code>" << esc(s.id) << "</code></td>"
+        << "<td class=\"l\">"
+        << esc(std::string(compiler::policy_name(s.policy))) << "</td>"
+        << "<td class=\"l\">"
+        << esc(std::string(campaign::analysis_name(s.analysis))) << "</td>"
+        << "<td>" << s.traces << "</td><td>"
+        << (disclosed > 0.0 ? num_or_na(disclosed)
+                            : std::string("not disclosed"))
+        << "</td><td>" << num_or_na(r.points.ranks.back()) << "</td></tr>\n";
+  }
+  out << "</table>\n";
+}
+
 void artifact_chart(std::ostringstream& out, const ScenarioEntry& e) {
   if (!e.artifact_present) {
     out << "<p class=\"miss\">artifact <code>" << esc(e.artifact_path)
@@ -327,6 +457,20 @@ void artifact_chart(std::ostringstream& out, const ScenarioEntry& e) {
         series.ys.push_back(cell_to_double(row[t_col]));
       }
       downsample(series.xs, series.ys, 1200);
+      spec.series.push_back(std::move(series));
+      out << line_chart(spec) << "\n";
+      break;
+    }
+    case campaign::Analysis::kMlpa:
+    case campaign::Analysis::kCollision: {
+      // disclosure.csv: traces,guess,rank,score
+      DisclosurePoints p = true_guess_ranks(t, e.result.true_value);
+      if (p.traces.empty()) break;
+      LineChartSpec spec;
+      spec.title = "True-guess rank vs. traces";
+      spec.x_label = "traces";
+      spec.y_label = "rank of true guess";
+      LineSeries series{"rank", std::move(p.traces), std::move(p.ranks)};
       spec.series.push_back(std::move(series));
       out << line_chart(spec) << "\n";
       break;
@@ -405,6 +549,7 @@ std::string render(const Model& model, const RenderOptions& options) {
   rollup_section(out, model);
   status_section(out, model);
   sweep_section(out, model);
+  disclosure_section(out, model);
 
   if (!model.scenarios.empty()) {
     out << "<h2>Scenarios</h2>\n";

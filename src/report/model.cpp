@@ -136,6 +136,14 @@ Model Model::from_manifest(const std::string& manifest_text,
     } else {
       ++model.missing_artifacts;
     }
+    if (campaign::analysis_has_disclosure(s.analysis)) {
+      const fs::path disclosure =
+          fs::path(dir) / campaign::scenario_disclosure_path(s.id);
+      if (fs::exists(disclosure)) {
+        entry.disclosure = util::load_csv_file(disclosure.string());
+        entry.disclosure_present = true;
+      }
+    }
     model.scenarios.push_back(std::move(entry));
   }
 

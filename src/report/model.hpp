@@ -48,6 +48,12 @@ struct ScenarioEntry {
   bool artifact_present = false;
   /// Relative path the artifact was looked up at (for callouts).
   std::string artifact_path;
+  /// Traces-to-disclosure curve (disclosure.csv) for key-ranking attack
+  /// scenarios.  Optional: campaigns written before the curve existed
+  /// simply have no disclosure sections, never a load failure, so its
+  /// absence does not count toward missing_artifacts.
+  util::CsvTable disclosure;
+  bool disclosure_present = false;
 };
 
 /// One roll-up row: recomputed measurement plus the manifest's paper

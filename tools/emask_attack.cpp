@@ -8,12 +8,15 @@
 #include <cstdio>
 #include <string>
 
+#include "analysis/collision.hpp"
 #include "analysis/cpa.hpp"
 #include "analysis/dpa.hpp"
+#include "analysis/mlpa.hpp"
 #include "analysis/trace_io.hpp"
 #include "analysis/tvla.hpp"
 #include "core/leakage_map.hpp"
 #include "core/masking_pipeline.hpp"
+#include "core/phase_profile.hpp"
 #include "tool_common.hpp"
 #include "util/rng.hpp"
 
@@ -35,7 +38,8 @@ int main(int argc, char** argv) {
   std::string from_path;
 
   util::ArgParser parser("emask-attack", "[options]");
-  parser.opt_choice("attack", &attack, {"dpa", "cpa", "tvla", "localize"},
+  parser.opt_choice("attack", &attack,
+                    {"dpa", "cpa", "mlpa", "collision", "tvla", "localize"},
                     "attack type (default cpa)");
   parser.opt_choice("policy", &policy_name,
                     {"original", "selective", "naive_loadstore",
@@ -130,6 +134,47 @@ int main(int argc, char** argv) {
       std::printf("|rho| %.4f for guess %d (margin %.2fx); true chunk %d "
                   "-> %s\n",
                   r.best_corr, r.best_guess, r.margin(), truth,
+                  r.best_guess == truth ? "RECOVERED" : "not recovered");
+      return r.best_guess == truth ? 0 : 3;
+    }
+    if (attack == "mlpa" || attack == "collision") {
+      // Per-S-box windows: adjacent S-boxes share expansion bits, so a
+      // round-wide window plants ghost correlations for wrong guesses.
+      const core::SboxWindow w =
+          core::des_round1_sbox_window(device.program(), sbox);
+      const std::size_t wb = w.valid() ? w.begin : 3000;
+      const std::size_t we = w.valid() ? w.end : kRound1End;
+      if (attack == "mlpa") {
+        analysis::MlpaConfig cfg;
+        cfg.sbox = sbox;
+        cfg.window_begin = wb;
+        cfg.window_end = we;
+        analysis::MlpaAttack mlpa(cfg);
+        for (int i = 0; i < traces; ++i) {
+          const std::uint64_t pt = next_input();
+          mlpa.add_trace(pt, capture(pt));
+        }
+        const analysis::MlpaResult r = mlpa.solve();
+        std::printf("MLPA score %.4f for guess %d over %zu approximations "
+                    "(margin %.2fx); true chunk %d -> %s\n",
+                    r.best_score, r.best_guess, mlpa.approximations().size(),
+                    r.margin(), truth,
+                    r.best_guess == truth ? "RECOVERED" : "not recovered");
+        return r.best_guess == truth ? 0 : 3;
+      }
+      analysis::CollisionConfig cfg;
+      cfg.sbox = sbox;
+      cfg.window_begin = wb;
+      cfg.window_end = we;
+      analysis::CollisionAttack collision(cfg);
+      for (int i = 0; i < traces; ++i) {
+        const std::uint64_t pt = next_input();
+        collision.add_trace(pt, capture(pt));
+      }
+      const analysis::CollisionResult r = collision.solve();
+      std::printf("collision score %.4f for guess %d (%zu/64 input classes "
+                  "seen); true chunk %d -> %s\n",
+                  r.best_score, r.best_guess, r.classes_seen, truth,
                   r.best_guess == truth ? "RECOVERED" : "not recovered");
       return r.best_guess == truth ? 0 : 3;
     }
