@@ -19,6 +19,7 @@
 
 #include "bench_common.hpp"
 #include "core/batch_runner.hpp"
+#include "energy/kernels.hpp"
 #include "util/csv.hpp"
 #include "util/rng.hpp"
 
@@ -189,5 +190,51 @@ int main() {
   const bool fork_fast_enough = algorithmic_speedup > 1.3;
   std::printf("algorithmic speedup > 1.3x: %s\n",
               fork_fast_enough ? "YES" : "NO");
-  return (all_identical && fork_identical && fork_fast_enough) ? 0 : 1;
+
+  // --- Energy-kernel backend (scalar vs bitslice Hamming loops) ---------
+  // A coupling-enabled capture exercises the adjacent-line loops of every
+  // bus on every cycle — the loops the word-parallel kernels replace.
+  // Both backends must produce bit-identical trace sets; wall clock goes
+  // to stdout only, the series carries counts and the identity flag.
+  std::printf("\n-- energy-kernel backend (coupling-enabled capture) --\n");
+  const auto coupled = core::MaskingPipeline::des(
+      compiler::Policy::kOriginal,
+      energy::TechParams::smartcard_025um_with_coupling());
+  const energy::HammingBackend saved_backend = energy::hamming_backend();
+  analysis::TraceSet kernel_sets[2];
+  double kernel_wall[2] = {0.0, 0.0};
+  const energy::HammingBackend backends[2] = {
+      energy::HammingBackend::kScalar, energy::HammingBackend::kBitslice};
+  for (int i = 0; i < 2; ++i) {
+    energy::set_hamming_backend(backends[i]);
+    core::BatchConfig bc;
+    bc.threads = 1;
+    bc.stop_after_cycles = kWindowEnd;
+    core::BatchRunner runner(coupled, bc);
+    kernel_sets[i] =
+        runner.capture(kTraces, core::random_plaintexts(bench::kKey, kSeed));
+    kernel_wall[i] = runner.stats().wall_seconds;
+  }
+  energy::set_hamming_backend(saved_backend);
+  const bool kernel_identical = identical(kernel_sets[0], kernel_sets[1]);
+  std::printf("%10s %12.3f s\n%10s %12.3f s\n", "scalar", kernel_wall[0],
+              "bitslice", kernel_wall[1]);
+  std::printf("scalar vs bitslice kernels bit-identical: %s\n",
+              kernel_identical ? "YES" : "NO");
+  {
+    bench::SeriesWriter series("ext_kernel_backend");
+    series.write_header({"backend_bitslice", "traces", "window_cycles",
+                         "coupling_enabled", "bitwise_vs_scalar"});
+    series.write_row({0.0, static_cast<double>(kTraces),
+                      static_cast<double>(kWindowEnd), 1.0, 1.0});
+    series.write_row({1.0, static_cast<double>(kTraces),
+                      static_cast<double>(kWindowEnd), 1.0,
+                      kernel_identical ? 1.0 : 0.0});
+    series.flush();
+  }
+
+  return (all_identical && fork_identical && fork_fast_enough &&
+          kernel_identical)
+             ? 0
+             : 1;
 }

@@ -1,0 +1,148 @@
+// Extension Q: bitsliced hypothesis-matrix generation — scalar
+// predict-per-(plaintext, guess) loops vs the bitslice/des_round1 block
+// evaluator.
+//
+// The CPA/MLPA/collision disclosure curves re-solve their attacks at many
+// checkpoint trace counts, and every solve consumes a 64-guess hypothesis
+// row per trace; generating those rows is the analysis-side hot loop this
+// PR bitslices.  This bench proves the two backends produce *identical*
+// matrices, then gates the speedup: the sliced block evaluator must build
+// hypothesis matrices at least 2x faster than the scalar loop (in
+// practice well above that — one sliced S-box evaluation serves 64 lanes).
+//
+// Wall clock goes to stdout only; the CSV/JSON series carries pure
+// counts, checksums, and equality flags, so two runs byte-diff clean and
+// the bench-determinism CI job gates on BENCH_ext_bitslice.json.
+#include <array>
+#include <chrono>
+#include <cstdint>
+
+#include "analysis/cpa.hpp"
+#include "analysis/dpa.hpp"
+#include "bench_common.hpp"
+#include "bitslice/des_round1.hpp"
+#include "des/des.hpp"
+#include "util/rng.hpp"
+
+using namespace emask;
+
+namespace {
+
+constexpr int kBlocks = 64;     // 64 blocks x 64 plaintexts = 4096 traces
+constexpr int kTimingReps = 5;  // best-of-N wall clock per backend
+constexpr std::uint64_t kSeed = 0xB175C0DE;
+constexpr int kSbox = 2;
+constexpr int kDpaBit = 1;
+
+using Matrix = std::array<std::array<int, 64>, 64>;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// FNV-1a over every matrix entry, in row-major order — a deterministic
+/// fingerprint the JSON series records for both backends.
+std::uint64_t checksum(const std::vector<Matrix>& matrices) {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (const Matrix& m : matrices) {
+    for (const auto& row : m) {
+      for (const int v : row) {
+        h ^= static_cast<std::uint64_t>(v);
+        h *= 0x100000001B3ull;
+      }
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner("Extension Q",
+                      "Bitsliced hypothesis generation: scalar predict "
+                      "loops vs sliced block evaluation (identity + >= 2x).");
+  std::printf("matrix: %d blocks x 64 plaintexts x 64 guesses, S-box %d\n\n",
+              kBlocks, kSbox);
+
+  std::vector<std::array<std::uint64_t, 64>> blocks(kBlocks);
+  util::Rng rng(kSeed);
+  for (auto& block : blocks) {
+    for (auto& pt : block) pt = rng.next_u64();
+  }
+
+  // --- CPA Hamming-weight matrices -------------------------------------
+  std::vector<Matrix> scalar_m(kBlocks), sliced_m(kBlocks);
+  double scalar_s = 1e99;
+  for (int rep = 0; rep < kTimingReps; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int b = 0; b < kBlocks; ++b) {
+      for (int p = 0; p < 64; ++p) {
+        for (int g = 0; g < 64; ++g) {
+          scalar_m[b][p][g] =
+              analysis::CpaAttack::predict_weight(blocks[b][p], kSbox, g);
+        }
+      }
+    }
+    scalar_s = std::min(scalar_s, seconds_since(t0));
+  }
+  double sliced_s = 1e99;
+  for (int rep = 0; rep < kTimingReps; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int b = 0; b < kBlocks; ++b) {
+      bitslice::cpa_hypothesis_block(kSbox, blocks[b].data(), sliced_m[b]);
+    }
+    sliced_s = std::min(sliced_s, seconds_since(t0));
+  }
+  const bool cpa_equal = scalar_m == sliced_m;
+  const std::uint64_t cpa_checksum = checksum(sliced_m);
+  const double speedup = scalar_s / sliced_s;
+  const double rows = static_cast<double>(kBlocks) * 64;
+  std::printf("%10s %12s %14s %10s\n", "backend", "wall s", "rows/s",
+              "speedup");
+  std::printf("%10s %12.4f %14.0f %10s\n", "scalar", scalar_s,
+              rows / scalar_s, "1.00x");
+  std::printf("%10s %12.4f %14.0f %9.2fx\n", "bitslice", sliced_s,
+              rows / sliced_s, speedup);
+  std::printf("matrices identical: %s   checksum %016llx\n\n",
+              cpa_equal ? "YES" : "NO",
+              static_cast<unsigned long long>(cpa_checksum));
+
+  // --- DPA bit rows (identity only; same sliced machinery) --------------
+  bool dpa_equal = true;
+  std::uint64_t dpa_hash = 0xCBF29CE484222325ull;
+  for (int six = 0; six < 64; ++six) {
+    std::array<int, 64> row{};
+    bitslice::dpa_hypothesis_row(kSbox, kDpaBit,
+                                 static_cast<std::uint8_t>(six), row);
+    for (int g = 0; g < 64; ++g) {
+      const int expected =
+          (des::sbox_lookup(kSbox, static_cast<std::uint8_t>(six ^ g)) >>
+           (3 - kDpaBit)) &
+          1;
+      dpa_equal &= row[g] == expected;
+      dpa_hash ^= static_cast<std::uint64_t>(row[g]);
+      dpa_hash *= 0x100000001B3ull;
+    }
+  }
+  std::printf("DPA bit rows identical to scalar: %s\n",
+              dpa_equal ? "YES" : "NO");
+
+  {
+    bench::SeriesWriter series("ext_bitslice");
+    series.write_header({"section", "plaintexts", "guesses", "identical",
+                         "checksum"});
+    series.write_row(std::vector<std::string>{
+        "cpa_block", std::to_string(kBlocks * 64), "64",
+        cpa_equal ? "1" : "0", std::to_string(cpa_checksum)});
+    series.write_row(std::vector<std::string>{
+        "dpa_rows", "64", "64", dpa_equal ? "1" : "0",
+        std::to_string(dpa_hash)});
+    series.flush();
+  }
+
+  const bool fast_enough = speedup >= 2.0;
+  std::printf("hypothesis-matrix speedup >= 2x: %s (%.2fx)\n",
+              fast_enough ? "YES" : "NO", speedup);
+  return (cpa_equal && dpa_equal && fast_enough) ? 0 : 1;
+}

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 #include "des/des.hpp"
 
@@ -13,15 +14,32 @@ double CollisionResult::margin() const {
 }
 
 CollisionAttack::CollisionAttack(const CollisionConfig& config)
-    : config_(config), window_(config.window_begin, config.window_end) {
+    : config_(config),
+      window_(config.window_begin, config.window_end),
+      class_row_(1) {
   if (config.sbox < 0 || config.sbox > 7) {
     throw std::invalid_argument("CollisionAttack: sbox in 0..7");
   }
 }
 
+void CollisionAttack::set_provider(
+    std::shared_ptr<HypothesisProvider> provider) {
+  if (provider && provider->count() != 1) {
+    throw std::invalid_argument(
+        "CollisionAttack: provider must supply one class index");
+  }
+  provider_ = std::move(provider);
+}
+
 void CollisionAttack::add_trace(std::uint64_t plaintext, const Trace& trace) {
   const std::size_t begin = window_.admit(trace, "CollisionAttack");
-  const std::uint8_t e = des::round1_sbox_input(plaintext, config_.sbox);
+  std::uint8_t e;
+  if (provider_) {
+    provider_->fill(plaintext, class_row_);
+    e = static_cast<std::uint8_t>(class_row_[0] & 0x3F);
+  } else {
+    e = des::round1_sbox_input(plaintext, config_.sbox);
+  }
   auto& sums = class_sum_[e];
   if (sums.empty()) sums.assign(window_.width(), 0.0);
   ++traces_;

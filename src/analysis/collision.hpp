@@ -26,9 +26,11 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "analysis/generic_cpa.hpp"
+#include "analysis/hypothesis.hpp"
 #include "analysis/trace.hpp"
 
 namespace emask::analysis {
@@ -55,12 +57,18 @@ class CollisionAttack {
  public:
   explicit CollisionAttack(const CollisionConfig& config);
 
+  /// Installs a batched backend supplying the single input-class index e
+  /// per trace (count() == 1).  Null restores the scalar path.
+  void set_provider(std::shared_ptr<HypothesisProvider> provider);
+
   void add_trace(std::uint64_t plaintext, const Trace& trace);
   [[nodiscard]] CollisionResult solve() const;
 
  private:
   CollisionConfig config_;
   TraceWindow window_;
+  std::shared_ptr<HypothesisProvider> provider_;
+  std::vector<int> class_row_;
   std::size_t traces_ = 0;
   std::array<std::vector<double>, 64> class_sum_;  // [e][cycle]
   std::array<std::size_t, 64> class_count_{};

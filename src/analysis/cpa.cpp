@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <stdexcept>
+#include <utility>
 
 #include "des/des.hpp"
 
@@ -15,10 +16,18 @@ double CpaResult::margin() const {
 
 CpaAttack::CpaAttack(const CpaConfig& config)
     : config_(config),
-      engine_(64, config.window_begin, config.window_end) {
+      engine_(64, config.window_begin, config.window_end),
+      hypotheses_(64) {
   if (config.sbox < 0 || config.sbox > 7) {
     throw std::invalid_argument("CpaAttack: sbox in 0..7");
   }
+}
+
+void CpaAttack::set_provider(std::shared_ptr<HypothesisProvider> provider) {
+  if (provider && provider->count() != 64) {
+    throw std::invalid_argument("CpaAttack: provider must supply 64 guesses");
+  }
+  provider_ = std::move(provider);
 }
 
 int CpaAttack::predict_weight(std::uint64_t plaintext, int sbox, int guess) {
@@ -29,12 +38,15 @@ int CpaAttack::predict_weight(std::uint64_t plaintext, int sbox, int guess) {
 }
 
 void CpaAttack::add_trace(std::uint64_t plaintext, const Trace& trace) {
-  std::vector<int> hypotheses(64);
-  for (int g = 0; g < 64; ++g) {
-    hypotheses[static_cast<std::size_t>(g)] =
-        predict_weight(plaintext, config_.sbox, g);
+  if (provider_) {
+    provider_->fill(plaintext, hypotheses_);
+  } else {
+    for (int g = 0; g < 64; ++g) {
+      hypotheses_[static_cast<std::size_t>(g)] =
+          predict_weight(plaintext, config_.sbox, g);
+    }
   }
-  engine_.add_trace(hypotheses, trace);
+  engine_.add_trace(hypotheses_, trace);
 }
 
 CpaResult CpaAttack::solve() const {

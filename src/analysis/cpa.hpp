@@ -7,8 +7,11 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
+#include <vector>
 
 #include "analysis/generic_cpa.hpp"
+#include "analysis/hypothesis.hpp"
 #include "analysis/trace.hpp"
 
 namespace emask::analysis {
@@ -36,12 +39,18 @@ class CpaAttack {
   [[nodiscard]] static int predict_weight(std::uint64_t plaintext, int sbox,
                                           int guess);
 
+  /// Installs a batched hypothesis backend (64-entry rows; see
+  /// analysis/hypothesis.hpp).  Null restores the scalar path.
+  void set_provider(std::shared_ptr<HypothesisProvider> provider);
+
   void add_trace(std::uint64_t plaintext, const Trace& trace);
   [[nodiscard]] CpaResult solve() const;
 
  private:
   CpaConfig config_;
   GenericCpa engine_;
+  std::shared_ptr<HypothesisProvider> provider_;
+  std::vector<int> hypotheses_;
 };
 
 }  // namespace emask::analysis

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 #include "analysis/generic_cpa.hpp"
 #include "des/des.hpp"
@@ -21,6 +22,14 @@ DpaAttack::DpaAttack(const DpaConfig& config)
   }
   group1_sum_.resize(64);
   group1_count_.resize(64, 0);
+  predicted_.resize(64);
+}
+
+void DpaAttack::set_provider(std::shared_ptr<HypothesisProvider> provider) {
+  if (provider && provider->count() != 64) {
+    throw std::invalid_argument("DpaAttack: provider must supply 64 guesses");
+  }
+  provider_ = std::move(provider);
 }
 
 int DpaAttack::predict_bit(std::uint64_t plaintext, int sbox, int bit,
@@ -44,8 +53,16 @@ void DpaAttack::add_trace(std::uint64_t plaintext, const Trace& trace) {
   }
   ++traces_;
   accumulate_window(trace, begin, window_.width(), total_sum_.data());
+  if (provider_) {
+    provider_->fill(plaintext, predicted_);
+  } else {
+    for (int guess = 0; guess < 64; ++guess) {
+      predicted_[static_cast<std::size_t>(guess)] =
+          predict_bit(plaintext, config_.sbox, config_.bit, guess);
+    }
+  }
   for (int guess = 0; guess < 64; ++guess) {
-    if (predict_bit(plaintext, config_.sbox, config_.bit, guess) == 1) {
+    if (predicted_[static_cast<std::size_t>(guess)] == 1) {
       ++group1_count_[static_cast<std::size_t>(guess)];
       accumulate_window(trace, begin, window_.width(),
                         group1_sum_[static_cast<std::size_t>(guess)].data());

@@ -2,12 +2,23 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 #include <string>
 
 namespace emask::analysis {
 
 std::size_t TraceWindow::admit(const Trace& trace, const char* who) {
+  // A bounded window is a hard contract: a first trace too short to fill
+  // [begin_, end_) must not silently narrow the window for every later
+  // (full-length) trace — it gets the same rejection a short later trace
+  // always got.  Only the open-ended default (end_ == SIZE_MAX, "to the
+  // end of the trace") clamps, because there the first trace *defines*
+  // the width.
+  if (end_ != SIZE_MAX && trace.size() < end_) {
+    throw std::invalid_argument(std::string(who) +
+                                ": trace shorter than the window");
+  }
   const std::size_t begin = std::min(begin_, trace.size());
   const std::size_t end = std::min(end_, trace.size());
   const std::size_t w = end > begin ? end - begin : 0;
@@ -33,7 +44,12 @@ double margin_over_runner_up(const double* scores, std::size_t count,
     if (static_cast<int>(g) == best_guess) continue;
     runner_up = std::max(runner_up, scores[g]);
   }
-  return runner_up > 0.0 ? best_score / runner_up : 0.0;
+  // No positive runner-up means the winner is infinitely separated; +inf
+  // keeps that distinguishable from a genuine zero margin (best_score 0
+  // over a positive runner-up).  Reports render non-finite as "n/a" and
+  // manifests serialize it as null.
+  if (runner_up <= 0.0) return std::numeric_limits<double>::infinity();
+  return best_score / runner_up;
 }
 
 double GenericCpaResult::margin() const {
@@ -118,6 +134,10 @@ GenericCpaResult GenericCpa::solve() const {
     const double sh = sum_h_[static_cast<std::size_t>(g)];
     const double var_h = sum_h2_[static_cast<std::size_t>(g)] - sh * sh / n;
     if (var_h <= 0.0) continue;
+    // True max over the window, not max against a 0.0 seed: in signed
+    // mode an all-negative guess must report its (negative) peak, or it
+    // could never rank below a true-zero guess.
+    bool any_cycle = false;
     double peak = 0.0;
     for (std::size_t i = 0; i < width; ++i) {
       const double st = sum_t_[i];
@@ -130,10 +150,15 @@ GenericCpaResult GenericCpa::solve() const {
                   static_cast<std::size_t>(g)] -
           sh * st / n;
       const double rho = cov / std::sqrt(var_h * var_t);
-      peak = std::max(peak, signed_correlation_ ? rho : std::abs(rho));
+      const double score = signed_correlation_ ? rho : std::abs(rho);
+      if (!any_cycle || score > peak) peak = score;
+      any_cycle = true;
     }
+    // No cycle had variance (fully masked window): the guess is
+    // unrankable and keeps the 0.0 placeholder without contending.
+    if (!any_cycle) continue;
     result.corr_per_guess[static_cast<std::size_t>(g)] = peak;
-    if (peak > result.best_corr) {
+    if (result.best_guess < 0 || peak > result.best_corr) {
       result.best_corr = peak;
       result.best_guess = g;
     }

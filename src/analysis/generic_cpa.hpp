@@ -17,18 +17,20 @@
 
 namespace emask::analysis {
 
-/// Shared trace-window bookkeeping for every streaming attack: clamps a
-/// configured [begin, end) cycle range to each incoming trace, fixes the
-/// window width on the first trace, and rejects later traces too short to
-/// fill it (a truncated capture would silently skew running sums).
+/// Shared trace-window bookkeeping for every streaming attack.  A bounded
+/// [begin, end) range is a hard contract: every trace (including the
+/// first) must cover it or admit() throws — a short first trace must not
+/// silently narrow the window every later full-length trace is analyzed
+/// over.  The open-ended default (end = SIZE_MAX) runs "to the end of the
+/// trace": the first trace fixes the width, later traces must cover it.
 class TraceWindow {
  public:
   TraceWindow(std::size_t begin = 0, std::size_t end = SIZE_MAX)
       : begin_(begin), end_(end) {}
 
   /// Admits one trace: returns the absolute cycle index the window starts
-  /// at.  The first admitted trace fixes width(); subsequent traces must
-  /// cover at least that many cycles or `who` throws.
+  /// at.  Throws if the trace cannot cover the bounded range (or, for the
+  /// open-ended default, the width fixed by the first trace).
   std::size_t admit(const Trace& trace, const char* who);
 
   /// Window length in cycles; 0 until the first trace is admitted.
@@ -47,9 +49,11 @@ class TraceWindow {
 void accumulate_window(const Trace& trace, std::size_t begin,
                        std::size_t width, double* sums);
 
-/// Winner's score over the runner-up's (>1 = clean recovery; 0 when the
-/// runner-up is non-positive).  The tie-break-free margin every attack
-/// result reports.
+/// Winner's score over the runner-up's (>1 = clean recovery).  When no
+/// runner-up scores positive the winner is infinitely separated and the
+/// margin is +inf — distinguishable from a genuine zero margin (zero best
+/// score over a positive runner-up).  Reports render non-finite margins
+/// as "n/a"; manifest JSON serializes them as null.
 [[nodiscard]] double margin_over_runner_up(const double* scores,
                                            std::size_t count, int best_guess,
                                            double best_score);

@@ -1,0 +1,33 @@
+// Hypothesis-provider seam: a batched backend can take over the
+// per-trace hypothesis computation of any streaming attack.
+//
+// The scalar attacks compute their hypothesis row inline (64 sbox_lookup
+// calls per CPA trace, one per guess).  A provider produces the whole row
+// at once — the bitsliced backend in src/bitslice evaluates the S-box as
+// 64 one-bit lanes and caches rows per distinct public input — while the
+// attack's statistics code stays backend-agnostic.  Providers must be
+// *pure* in the plaintext (same plaintext -> same row) so results are
+// bit-identical to the scalar path; equivalence is enforced by
+// tests/bitslice_test.cpp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace emask::analysis {
+
+class HypothesisProvider {
+ public:
+  virtual ~HypothesisProvider() = default;
+
+  /// Entries per row; the attack validates it against its own layout
+  /// (64 guesses for CPA/DPA, one per approximation for MLPA, the single
+  /// input-class index for collisions).
+  [[nodiscard]] virtual int count() const = 0;
+
+  /// Fills out[0..count) with the hypothesis row for `plaintext`.
+  /// `out` is pre-sized by the attack; providers must not resize it.
+  virtual void fill(std::uint64_t plaintext, std::vector<int>& out) = 0;
+};
+
+}  // namespace emask::analysis

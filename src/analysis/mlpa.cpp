@@ -4,6 +4,7 @@
 #include <bit>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 #include "des/des.hpp"
 
@@ -117,11 +118,21 @@ double MlpaResult::margin() const {
 
 MlpaAttack::MlpaAttack(const MlpaConfig& config)
     : config_(config),
-      approx_(select_approximations(config.sbox, config.max_approx)) {
+      approx_(select_approximations(config.sbox, config.max_approx)),
+      parities_(approx_.size()) {
   engines_.reserve(approx_.size());
   for (std::size_t j = 0; j < approx_.size(); ++j) {
     engines_.emplace_back(1, config.window_begin, config.window_end);
   }
+}
+
+void MlpaAttack::set_provider(std::shared_ptr<HypothesisProvider> provider) {
+  if (provider &&
+      provider->count() != static_cast<int>(approx_.size())) {
+    throw std::invalid_argument(
+        "MlpaAttack: provider must supply one parity per approximation");
+  }
+  provider_ = std::move(provider);
 }
 
 int MlpaAttack::selection_parity(std::uint64_t plaintext, int sbox,
@@ -130,10 +141,17 @@ int MlpaAttack::selection_parity(std::uint64_t plaintext, int sbox,
 }
 
 void MlpaAttack::add_trace(std::uint64_t plaintext, const Trace& trace) {
-  const std::uint8_t six = des::round1_sbox_input(plaintext, config_.sbox);
+  if (provider_) {
+    provider_->fill(plaintext, parities_);
+  } else {
+    const std::uint8_t six = des::round1_sbox_input(plaintext, config_.sbox);
+    for (std::size_t j = 0; j < approx_.size(); ++j) {
+      parities_[j] = parity6(approx_[j].in_mask & six);
+    }
+  }
   std::vector<int> hyp(1);
   for (std::size_t j = 0; j < approx_.size(); ++j) {
-    hyp[0] = parity6(approx_[j].in_mask & six);
+    hyp[0] = parities_[j];
     engines_[j].add_trace(hyp, trace);
   }
 }

@@ -43,9 +43,11 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "analysis/generic_cpa.hpp"
+#include "analysis/hypothesis.hpp"
 #include "analysis/trace.hpp"
 
 namespace emask::analysis {
@@ -98,6 +100,11 @@ class MlpaAttack {
   [[nodiscard]] static int selection_parity(std::uint64_t plaintext, int sbox,
                                             int in_mask);
 
+  /// Installs a batched hypothesis backend supplying one selection parity
+  /// per approximation (in approximations() order).  Null restores the
+  /// scalar path.
+  void set_provider(std::shared_ptr<HypothesisProvider> provider);
+
   void add_trace(std::uint64_t plaintext, const Trace& trace);
   [[nodiscard]] MlpaResult solve() const;
 
@@ -108,6 +115,8 @@ class MlpaAttack {
  private:
   MlpaConfig config_;
   std::vector<LinearApprox> approx_;
+  std::shared_ptr<HypothesisProvider> provider_;
+  std::vector<int> parities_;
   /// One single-hypothesis engine per approximation tracking the
   /// selection parity's per-cycle correlation.
   std::vector<GenericCpa> engines_;

@@ -1,0 +1,178 @@
+#include "bitslice/des_round1.hpp"
+
+#include <stdexcept>
+
+#include "des/des.hpp"
+
+namespace emask::bitslice {
+namespace {
+
+struct SboxTables {
+  // tt[s][b] bit x = bit b of S_s(x).
+  std::uint64_t tt[8][4];
+  // src[s][i] = plaintext bit feeding bit i of round1_sbox_input(pt, s).
+  int src[8][6];
+};
+
+SboxTables probe_tables() {
+  SboxTables t{};
+  for (int s = 0; s < 8; ++s) {
+    for (int x = 0; x < 64; ++x) {
+      const std::uint8_t out =
+          des::sbox_lookup(s, static_cast<std::uint8_t>(x));
+      for (int b = 0; b < 4; ++b) {
+        t.tt[s][b] |= static_cast<std::uint64_t>((out >> b) & 1) << x;
+      }
+    }
+    for (int i = 0; i < 6; ++i) t.src[s][i] = -1;
+    for (int k = 0; k < 64; ++k) {
+      const std::uint8_t six =
+          des::round1_sbox_input(std::uint64_t{1} << k, s);
+      for (int i = 0; i < 6; ++i) {
+        if ((six >> i) & 1) {
+          // IP + E select each expanded bit from exactly one plaintext
+          // bit; a second source would mean the map is not a selection.
+          if (t.src[s][i] >= 0 && t.src[s][i] != k) {
+            throw std::logic_error(
+                "bitslice: round1_sbox_input is not a bit-selection");
+          }
+          t.src[s][i] = k;
+        }
+      }
+    }
+    for (int i = 0; i < 6; ++i) {
+      if (t.src[s][i] < 0) {
+        throw std::logic_error("bitslice: unmapped round-1 input bit");
+      }
+    }
+  }
+  return t;
+}
+
+const SboxTables& tables() {
+  static const SboxTables t = probe_tables();
+  return t;
+}
+
+void check_sbox(int sbox) {
+  if (sbox < 0 || sbox > 7) {
+    throw std::invalid_argument("bitslice: sbox in 0..7");
+  }
+}
+
+}  // namespace
+
+std::uint64_t sbox_truth_table(int sbox, int b) {
+  check_sbox(sbox);
+  if (b < 0 || b > 3) {
+    throw std::invalid_argument("bitslice: output bit in 0..3");
+  }
+  return tables().tt[sbox][b];
+}
+
+void sbox_planes(int sbox, const Word x[6], Word out[4]) {
+  check_sbox(sbox);
+  for (int b = 0; b < 4; ++b) out[b] = eval_tt(tables().tt[sbox][b], x, 6);
+}
+
+int round1_source_bit(int sbox, int i) {
+  check_sbox(sbox);
+  if (i < 0 || i > 5) {
+    throw std::invalid_argument("bitslice: input bit in 0..5");
+  }
+  return tables().src[sbox][i];
+}
+
+std::uint8_t round1_six(std::uint64_t plaintext, int sbox) {
+  check_sbox(sbox);
+  const auto& src = tables().src[sbox];
+  std::uint8_t six = 0;
+  for (int i = 0; i < 6; ++i) {
+    six |= static_cast<std::uint8_t>(((plaintext >> src[i]) & 1) << i);
+  }
+  return six;
+}
+
+void plaintext_planes(const std::uint64_t pts[64], Word planes[64]) {
+  for (int l = 0; l < 64; ++l) planes[l] = pts[l];
+  transpose64(planes);
+}
+
+void six_planes_from(const Word pt_planes[64], int sbox, Word x[6]) {
+  check_sbox(sbox);
+  for (int i = 0; i < 6; ++i) x[i] = pt_planes[tables().src[sbox][i]];
+}
+
+namespace {
+
+/// Input planes for the guess-in-the-lane layout: lane g carries six ^ g.
+void guess_lane_planes(std::uint8_t six, Word x[6]) {
+  for (int i = 0; i < 6; ++i) {
+    x[i] = ((six >> i) & 1) ? ~kLaneIndex[static_cast<std::size_t>(i)]
+                            : kLaneIndex[static_cast<std::size_t>(i)];
+  }
+}
+
+}  // namespace
+
+void cpa_hypothesis_row(int sbox, std::uint8_t six,
+                        std::array<int, 64>& row) {
+  Word x[6];
+  guess_lane_planes(six, x);
+  Word out[4];
+  sbox_planes(sbox, x, out);
+  Word w[3];
+  hamming4_planes(out, w);
+  for (int g = 0; g < 64; ++g) {
+    row[static_cast<std::size_t>(g)] = decode_weight(w, g);
+  }
+}
+
+void dpa_hypothesis_row(int sbox, int bit, std::uint8_t six,
+                        std::array<int, 64>& row) {
+  if (bit < 0 || bit > 3) {
+    throw std::invalid_argument("bitslice: dpa bit in 0..3");
+  }
+  Word x[6];
+  guess_lane_planes(six, x);
+  // DpaAttack counts bits from the MSB; the truth tables are LSB-first.
+  const Word plane = eval_tt(sbox_truth_table(sbox, 3 - bit), x, 6);
+  for (int g = 0; g < 64; ++g) {
+    row[static_cast<std::size_t>(g)] = static_cast<int>((plane >> g) & 1);
+  }
+}
+
+void cpa_hypothesis_block(int sbox, const std::uint64_t pts[64],
+                          std::array<std::array<int, 64>, 64>& matrix) {
+  Word planes[64];
+  plaintext_planes(pts, planes);
+  Word e[6];
+  six_planes_from(planes, sbox, e);
+  Word x[6];
+  for (int g = 0; g < 64; ++g) {
+    for (int i = 0; i < 6; ++i) {
+      x[i] = ((g >> i) & 1) ? ~e[i] : e[i];
+    }
+    Word out[4];
+    sbox_planes(sbox, x, out);
+    Word w[3];
+    hamming4_planes(out, w);
+    for (int p = 0; p < 64; ++p) {
+      matrix[static_cast<std::size_t>(p)][static_cast<std::size_t>(g)] =
+          decode_weight(w, p);
+    }
+  }
+}
+
+Word selection_parity_plane(int in_mask) {
+  if (in_mask < 0 || in_mask > 63) {
+    throw std::invalid_argument("bitslice: in_mask in 0..63");
+  }
+  Word plane = kAllZeros;
+  for (int i = 0; i < 6; ++i) {
+    if ((in_mask >> i) & 1) plane ^= kLaneIndex[static_cast<std::size_t>(i)];
+  }
+  return plane;
+}
+
+}  // namespace emask::bitslice

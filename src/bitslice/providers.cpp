@@ -1,0 +1,85 @@
+#include "bitslice/providers.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "bitslice/des_round1.hpp"
+
+namespace emask::bitslice {
+namespace {
+
+void check_out(const std::vector<int>& out, std::size_t want,
+               const char* who) {
+  if (out.size() != want) {
+    throw std::invalid_argument(std::string(who) +
+                                ": output row size mismatch");
+  }
+}
+
+}  // namespace
+
+CpaProvider::CpaProvider(int sbox) : sbox_(sbox) {
+  (void)round1_source_bit(sbox, 0);  // validates sbox
+}
+
+void CpaProvider::fill(std::uint64_t plaintext, std::vector<int>& out) {
+  check_out(out, 64, "CpaProvider");
+  const std::uint8_t six = round1_six(plaintext, sbox_);
+  auto& row = rows_[six];
+  if (!cached_[six]) {
+    cpa_hypothesis_row(sbox_, six, row);
+    cached_[six] = true;
+  }
+  for (int g = 0; g < 64; ++g) {
+    out[static_cast<std::size_t>(g)] = row[static_cast<std::size_t>(g)];
+  }
+}
+
+DpaProvider::DpaProvider(int sbox, int bit) : sbox_(sbox), bit_(bit) {
+  if (bit < 0 || bit > 3) {
+    throw std::invalid_argument("DpaProvider: bit in 0..3");
+  }
+  (void)round1_source_bit(sbox, 0);  // validates sbox
+}
+
+void DpaProvider::fill(std::uint64_t plaintext, std::vector<int>& out) {
+  check_out(out, 64, "DpaProvider");
+  const std::uint8_t six = round1_six(plaintext, sbox_);
+  auto& row = rows_[six];
+  if (!cached_[six]) {
+    dpa_hypothesis_row(sbox_, bit_, six, row);
+    cached_[six] = true;
+  }
+  for (int g = 0; g < 64; ++g) {
+    out[static_cast<std::size_t>(g)] = row[static_cast<std::size_t>(g)];
+  }
+}
+
+MlpaProvider::MlpaProvider(int sbox, std::vector<int> in_masks)
+    : sbox_(sbox) {
+  (void)round1_source_bit(sbox, 0);  // validates sbox
+  parity_planes_.reserve(in_masks.size());
+  for (const int mask : in_masks) {
+    parity_planes_.push_back(selection_parity_plane(mask));
+  }
+}
+
+void MlpaProvider::fill(std::uint64_t plaintext, std::vector<int>& out) {
+  check_out(out, parity_planes_.size(), "MlpaProvider");
+  const std::uint8_t six = round1_six(plaintext, sbox_);
+  for (std::size_t j = 0; j < parity_planes_.size(); ++j) {
+    out[j] = static_cast<int>((parity_planes_[j] >> six) & 1);
+  }
+}
+
+CollisionProvider::CollisionProvider(int sbox) : sbox_(sbox) {
+  (void)round1_source_bit(sbox, 0);  // validates sbox
+}
+
+void CollisionProvider::fill(std::uint64_t plaintext,
+                             std::vector<int>& out) {
+  check_out(out, 1, "CollisionProvider");
+  out[0] = round1_six(plaintext, sbox_);
+}
+
+}  // namespace emask::bitslice

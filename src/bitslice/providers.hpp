@@ -1,0 +1,80 @@
+// analysis::HypothesisProvider implementations backed by the bitsliced
+// DES round-1 generators.
+//
+// Each provider keys a row cache on the 6-bit public expanded-input chunk
+// e: there are only 64 distinct values, and one sliced evaluation fills
+// the entire 64-guess row for an e, so a long capture does 64 sliced
+// S-box evaluations total where the scalar path does 64 lookups *per
+// trace*.  Rows are plain int copies after the first hit — identical
+// values to the scalar predict_* functions, verified bit-for-bit in
+// tests/bitslice_test.cpp.
+//
+// Providers are not thread-safe; campaign scenarios accumulate traces
+// in-order on one thread (BatchRunner reorders behind the seam).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "analysis/hypothesis.hpp"
+#include "bitslice/slice.hpp"
+
+namespace emask::bitslice {
+
+/// row[g] = popcount(S(e ^ g)): CpaAttack's hypothesis row.
+class CpaProvider : public analysis::HypothesisProvider {
+ public:
+  explicit CpaProvider(int sbox);
+  [[nodiscard]] int count() const override { return 64; }
+  void fill(std::uint64_t plaintext, std::vector<int>& out) override;
+
+ private:
+  int sbox_;
+  std::array<bool, 64> cached_{};
+  std::array<std::array<int, 64>, 64> rows_{};  // [e][guess]
+};
+
+/// row[g] = target output bit of S(e ^ g): DpaAttack's partition row.
+class DpaProvider : public analysis::HypothesisProvider {
+ public:
+  DpaProvider(int sbox, int bit);
+  [[nodiscard]] int count() const override { return 64; }
+  void fill(std::uint64_t plaintext, std::vector<int>& out) override;
+
+ private:
+  int sbox_;
+  int bit_;
+  std::array<bool, 64> cached_{};
+  std::array<std::array<int, 64>, 64> rows_{};  // [e][guess]
+};
+
+/// row[j] = parity(in_mask_j & e): MlpaAttack's selection parities, one
+/// entry per approximation.  The per-mask parity tables are evaluated for
+/// all 64 e values at once via selection_parity_plane.
+class MlpaProvider : public analysis::HypothesisProvider {
+ public:
+  MlpaProvider(int sbox, std::vector<int> in_masks);
+  [[nodiscard]] int count() const override {
+    return static_cast<int>(parity_planes_.size());
+  }
+  void fill(std::uint64_t plaintext, std::vector<int>& out) override;
+
+ private:
+  int sbox_;
+  std::vector<Word> parity_planes_;  // [approx]; bit e = parity(mask & e)
+};
+
+/// row[0] = e itself: CollisionAttack's input-class index.
+class CollisionProvider : public analysis::HypothesisProvider {
+ public:
+  explicit CollisionProvider(int sbox);
+  [[nodiscard]] int count() const override { return 1; }
+  void fill(std::uint64_t plaintext, std::vector<int>& out) override;
+
+ private:
+  int sbox_;
+};
+
+}  // namespace emask::bitslice

@@ -1,0 +1,47 @@
+#include "bitslice/slice.hpp"
+
+namespace emask::bitslice {
+
+void transpose64(Word a[64]) {
+  // LSB-first variant of the classic recursive block swap: at step j,
+  // every element (r, c) with bit j of r clear and bit j of c set trades
+  // places with (r | 1<<j, c & ~(1<<j)).  m masks the bit-j-clear columns.
+  Word m = 0x00000000FFFFFFFFull;
+  for (int j = 32; j != 0; j >>= 1, m ^= m << j) {
+    for (int k = 0; k < 64; k = (k + j + 1) & ~j) {
+      const Word t = ((a[k] >> j) ^ a[k + j]) & m;
+      a[k] ^= t << j;
+      a[k + j] ^= t;
+    }
+  }
+}
+
+Word eval_tt(std::uint64_t tt, const Word* x, int n) {
+  if (n == 0) return (tt & 1) ? kAllOnes : kAllZeros;
+  const int half = 1 << (n - 1);
+  const std::uint64_t lo_mask =
+      half >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << half) - 1);
+  const Word lo = eval_tt(tt & lo_mask, x, n - 1);
+  const Word hi = eval_tt(half >= 64 ? 0 : (tt >> half), x, n - 1);
+  const Word sel = x[n - 1];
+  return (lo & ~sel) | (hi & sel);
+}
+
+void hamming4_planes(const Word o[4], Word w[3]) {
+  // Carry-save: add the four one-bit planes pairwise, propagating carries
+  // as planes.  c and c2 are never simultaneously set (c = o0 & o1 forces
+  // s = o0 ^ o1 = 0, hence c2 = s & o2 = 0), so their sum needs no third
+  // bit; the final weight is s3 + 2*(d0 + c3) with d0 + c3 <= 2.
+  const Word s = o[0] ^ o[1];
+  const Word c = o[0] & o[1];
+  const Word s2 = s ^ o[2];
+  const Word c2 = s & o[2];
+  const Word d0 = c ^ c2;
+  const Word s3 = s2 ^ o[3];
+  const Word c3 = s2 & o[3];
+  w[0] = s3;
+  w[1] = d0 ^ c3;
+  w[2] = d0 & c3;
+}
+
+}  // namespace emask::bitslice

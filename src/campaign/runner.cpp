@@ -18,7 +18,9 @@
 #include "analysis/second_order.hpp"
 #include "analysis/trace_io.hpp"
 #include "analysis/tvla.hpp"
+#include "bitslice/providers.hpp"
 #include "core/batch_runner.hpp"
+#include "energy/kernels.hpp"
 #include "core/masking_pipeline.hpp"
 #include "core/phase_profile.hpp"
 #include "energy/components.hpp"
@@ -192,10 +194,25 @@ void fill_batch_stats(ScenarioResult& r, const core::BatchStats& stats) {
 
 }  // namespace
 
+Backend backend_from_name(const std::string& name) {
+  if (name == "auto") return Backend::kAuto;
+  if (name == "scalar") return Backend::kScalar;
+  if (name == "bitslice") return Backend::kBitslice;
+  throw SpecError("unknown backend '" + name +
+                  "' (expected auto, scalar, or bitslice)");
+}
+
 CampaignRunner::CampaignRunner(CampaignSpec spec, RunnerOptions options)
     : spec_(std::move(spec)), options_(std::move(options)) {
   if (options_.out_dir.empty()) {
     throw SpecError("campaign runner needs an output directory");
+  }
+  // The energy-kernel toggle is process-global; an explicit --backend
+  // pins it, kAuto keeps the default/env selection.
+  if (options_.backend == Backend::kScalar) {
+    energy::set_hamming_backend(energy::HammingBackend::kScalar);
+  } else if (options_.backend == Backend::kBitslice) {
+    energy::set_hamming_backend(energy::HammingBackend::kBitslice);
   }
 }
 
@@ -258,6 +275,10 @@ ScenarioResult CampaignRunner::execute(const Scenario& s,
       cfg.window_begin = s.window_begin;
       cfg.window_end = window_end;
       analysis::DpaAttack dpa(cfg);
+      if (options_.backend != Backend::kScalar) {
+        dpa.set_provider(
+            std::make_shared<bitslice::DpaProvider>(cfg.sbox, cfg.bit));
+      }
       DisclosureRecorder disclosure(s.traces);
       open_trace_writer(s.traces);
       runner.capture_each(s.traces, random_inputs,
@@ -286,6 +307,9 @@ ScenarioResult CampaignRunner::execute(const Scenario& s,
         cfg.window_begin = s.window_begin;
         cfg.window_end = window_end;
         analysis::CpaAttack cpa(cfg);
+        if (options_.backend != Backend::kScalar) {
+          cpa.set_provider(std::make_shared<bitslice::CpaProvider>(cfg.sbox));
+        }
         DisclosureRecorder disclosure(s.traces);
         open_trace_writer(s.traces);
         runner.capture_each(s.traces, random_inputs,
@@ -413,6 +437,14 @@ ScenarioResult CampaignRunner::execute(const Scenario& s,
       cfg.window_begin = w.valid() ? w.begin : s.window_begin;
       cfg.window_end = w.valid() ? w.end : window_end;
       analysis::MlpaAttack mlpa(cfg);
+      if (options_.backend != Backend::kScalar) {
+        std::vector<int> in_masks;
+        for (const analysis::LinearApprox& ap : mlpa.approximations()) {
+          in_masks.push_back(ap.in_mask);
+        }
+        mlpa.set_provider(std::make_shared<bitslice::MlpaProvider>(
+            cfg.sbox, std::move(in_masks)));
+      }
       DisclosureRecorder disclosure(s.traces);
       open_trace_writer(s.traces);
       runner.capture_each(s.traces, random_inputs,
@@ -442,6 +474,10 @@ ScenarioResult CampaignRunner::execute(const Scenario& s,
       cfg.window_begin = w.valid() ? w.begin : s.window_begin;
       cfg.window_end = w.valid() ? w.end : window_end;
       analysis::CollisionAttack collision(cfg);
+      if (options_.backend != Backend::kScalar) {
+        collision.set_provider(
+            std::make_shared<bitslice::CollisionProvider>(cfg.sbox));
+      }
       DisclosureRecorder disclosure(s.traces);
       open_trace_writer(s.traces);
       runner.capture_each(

@@ -1,0 +1,58 @@
+#include "energy/kernels.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace emask::energy {
+namespace {
+
+#ifndef EMASK_DEFAULT_HAMMING_BACKEND
+#define EMASK_DEFAULT_HAMMING_BACKEND kBitslice
+#endif
+
+std::atomic<HammingBackend>& backend_state() {
+  static std::atomic<HammingBackend> state = [] {
+    HammingBackend b = HammingBackend::EMASK_DEFAULT_HAMMING_BACKEND;
+    if (const char* env = std::getenv("EMASK_HAMMING_BACKEND")) {
+      b = hamming_backend_from_name(env);
+    }
+    return b;
+  }();
+  return state;
+}
+
+}  // namespace
+
+HammingBackend hamming_backend() {
+  return backend_state().load(std::memory_order_relaxed);
+}
+
+void set_hamming_backend(HammingBackend backend) {
+  backend_state().store(backend, std::memory_order_relaxed);
+}
+
+HammingBackend hamming_backend_from_name(const char* name) {
+  if (std::strcmp(name, "scalar") == 0) return HammingBackend::kScalar;
+  if (std::strcmp(name, "bitslice") == 0) return HammingBackend::kBitslice;
+  if (std::strcmp(name, "verify") == 0) return HammingBackend::kVerify;
+  throw std::invalid_argument(
+      std::string("unknown Hamming backend '") + name +
+      "' (expected scalar, bitslice, or verify)");
+}
+
+namespace detail {
+
+void kernel_mismatch(const char* kernel) {
+  // A divergence here means the word-parallel kernel and the scalar loop
+  // disagree on an integer count — a correctness bug, never data-driven.
+  std::fprintf(stderr, "energy: %s backend mismatch (verify mode)\n",
+               kernel);
+  std::abort();
+}
+
+}  // namespace detail
+}  // namespace emask::energy

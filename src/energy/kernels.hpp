@@ -1,0 +1,75 @@
+// Runtime-selectable backend for the energy model's Hamming/coupling
+// inner loops.
+//
+// kScalar keeps the original per-bit-pair loops; kBitslice swaps in the
+// word-parallel kernels from bitslice/hamming.hpp (same integer event
+// counts, so per-cycle energies are bit-identical); kVerify runs both and
+// aborts on any divergence — the belt-and-braces mode the equivalence
+// tests run whole captures under.
+//
+// The default is kBitslice, overridable three ways (first match wins):
+//   1. at build time: -DEMASK_DEFAULT_HAMMING_BACKEND=kScalar (CMake
+//      option EMASK_SCALAR_HAMMING);
+//   2. at process start: EMASK_HAMMING_BACKEND=scalar|bitslice|verify;
+//   3. at runtime: set_hamming_backend() (emask-campaign --backend).
+#pragma once
+
+#include <cstdint>
+
+#include "bitslice/hamming.hpp"
+
+namespace emask::energy {
+
+enum class HammingBackend { kScalar, kBitslice, kVerify };
+
+/// The active backend (env-initialized on first use, then whatever
+/// set_hamming_backend last installed).
+[[nodiscard]] HammingBackend hamming_backend();
+void set_hamming_backend(HammingBackend backend);
+
+/// Parses "scalar" / "bitslice" / "verify"; throws on anything else.
+[[nodiscard]] HammingBackend hamming_backend_from_name(const char* name);
+
+namespace detail {
+[[noreturn]] void kernel_mismatch(const char* kernel);
+}  // namespace detail
+
+/// Normal-mode adjacent-pair coupling events (see bitslice/hamming.hpp),
+/// dispatched through the active backend.
+[[nodiscard]] inline int coupling_events(std::uint64_t last,
+                                         std::uint64_t value, int width) {
+  switch (hamming_backend()) {
+    case HammingBackend::kScalar:
+      return bitslice::coupling_events_scalar(last, value, width);
+    case HammingBackend::kBitslice:
+      return bitslice::coupling_events(last, value, width);
+    case HammingBackend::kVerify: {
+      const int fast = bitslice::coupling_events(last, value, width);
+      if (fast != bitslice::coupling_events_scalar(last, value, width)) {
+        detail::kernel_mismatch("coupling_events");
+      }
+      return fast;
+    }
+  }
+  return 0;  // unreachable
+}
+
+/// Secure-mode opposing-transition count, dispatched likewise.
+[[nodiscard]] inline int secure_opposing(std::uint64_t value, int width) {
+  switch (hamming_backend()) {
+    case HammingBackend::kScalar:
+      return bitslice::secure_opposing_scalar(value, width);
+    case HammingBackend::kBitslice:
+      return bitslice::secure_opposing(value, width);
+    case HammingBackend::kVerify: {
+      const int fast = bitslice::secure_opposing(value, width);
+      if (fast != bitslice::secure_opposing_scalar(value, width)) {
+        detail::kernel_mismatch("secure_opposing");
+      }
+      return fast;
+    }
+  }
+  return 0;  // unreachable
+}
+
+}  // namespace emask::energy

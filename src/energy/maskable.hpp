@@ -3,9 +3,11 @@
 // energy) hardware when driven by a secure instruction.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <cstdlib>
 
+#include "energy/kernels.hpp"
 #include "util/bitops.hpp"
 
 namespace emask::energy {
@@ -36,9 +38,11 @@ class MaskableBus {
         line_energy_(line_energy_joules),
         coupling_energy_(coupling_energy_joules) {}
 
-  [[nodiscard]] double transfer(std::uint32_t value, bool secure) {
-    const std::uint32_t mask =
-        width_ >= 32 ? 0xFFFFFFFFu : ((1u << width_) - 1u);
+  [[nodiscard]] double transfer(std::uint64_t value, bool secure) {
+    // Up to 64 lines so the 33-bit instruction word (32-bit encoding plus
+    // the secure bit) rides the same model as the 32-bit buses.
+    const std::uint64_t mask =
+        width_ >= 64 ? ~0ull : ((1ull << width_) - 1ull);
     value &= mask;
     if (secure) {
       last_ = mask;  // lines are pre-charged again after the evaluation
@@ -52,42 +56,27 @@ class MaskableBus {
         // which oppose each other exactly when d_i == d_{i+1}.  Coupling
         // therefore leaks the adjacent-bit-equality pattern even in secure
         // mode — the residual channel the paper warns about.
-        int opposing = width_;  // within-pair contribution, constant
-        for (int i = 0; i + 1 < width_; ++i) {
-          if (util::bit_of(value, static_cast<unsigned>(i)) ==
-              util::bit_of(value, static_cast<unsigned>(i + 1))) {
-            ++opposing;
-          }
-        }
-        coupling = coupling_energy_ * opposing;
+        coupling = coupling_energy_ * energy::secure_opposing(value, width_);
       }
       return line_energy_ * width_ + coupling;
     }
-    const std::uint32_t rising = (~last_ & value) & mask;
+    const std::uint64_t rising = ~last_ & value;
     double coupling = 0.0;
     if (coupling_energy_ > 0.0) {
       // delta_i in {-1, 0, +1}: falling, quiet, rising.  Each adjacent
       // pair pays in proportion to how differently its lines move.
-      const auto delta = [&](int i) -> int {
-        const std::uint32_t was = util::bit_of(last_, static_cast<unsigned>(i));
-        const std::uint32_t now = util::bit_of(value, static_cast<unsigned>(i));
-        return static_cast<int>(now) - static_cast<int>(was);
-      };
-      int events = 0;
-      for (int i = 0; i + 1 < width_; ++i) {
-        events += std::abs(delta(i) - delta(i + 1));
-      }
-      coupling = coupling_energy_ * events;
+      coupling =
+          coupling_energy_ * energy::coupling_events(last_, value, width_);
     }
     last_ = value;
-    return line_energy_ * util::popcount(rising) + coupling;
+    return line_energy_ * std::popcount(rising) + coupling;
   }
 
  private:
   int width_;
   double line_energy_;
   double coupling_energy_;
-  std::uint32_t last_ = 0;
+  std::uint64_t last_ = 0;
 };
 
 /// A pipeline register modeled as a pre-charged structure: per-cycle energy

@@ -46,13 +46,13 @@ double ProcessorEnergyModel::cycle(const CycleActivity& a) {
   // (depends on the bit-level Hamming relationship of consecutive fetches).
   if (a.fetch) {
     charge(Component::kFetchArray, params_.e_fetch_array);
-    // The 33-bit word is wider than the 32-bit bus model; split it as a
-    // 32-bit transfer plus the secure bit folded into bit 0 cost — in
-    // practice the secure bit toggles rarely and contributes negligibly.
+    // All 33 lines of the fetch word, including the secure bit (bit 32):
+    // a secure/normal instruction boundary toggles that line and draws
+    // energy like any other — exactly the per-policy fetch difference a
+    // masked program exhibits.
     charge(Component::kInstrBus,
-                   instr_bus_.transfer(
-                       static_cast<std::uint32_t>(a.fetch_bits & 0xFFFFFFFFu),
-                       /*secure=*/false));
+                   instr_bus_.transfer(a.fetch_bits & 0x1FFFFFFFFull,
+                                       /*secure=*/false));
   }
 
   // ID: decoder + register-file reads (both data-independent; the register

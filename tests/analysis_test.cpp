@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <stdexcept>
 
 #include "analysis/dpa.hpp"
 #include "analysis/spa.hpp"
@@ -222,6 +224,93 @@ TEST(Dpa, UnmaskedRoundOneShowsSignal) {
     }
   }
   EXPECT_LT(rank, 20);  // upper tail even at 40 traces
+}
+
+// ---- GenericCpa edge-case regressions ----
+
+// Regression: signed-correlation mode used to fold every peak through
+// max(0.0, rho), so a guess whose rho is negative at every cycle reported
+// 0.0 — indistinguishable from (and never rankable below) a true-zero
+// guess, and with every guess negative the solver returned no best guess
+// at all.
+TEST(GenericCpa, SignedModeRanksAllNegativeCorrelations) {
+  GenericCpa cpa(2, 0, SIZE_MAX, /*signed_correlation=*/true);
+  // Cycle 0 carries the signal t = 0,1,2,3; cycle 1 is constant (skipped
+  // by the variance threshold).  Guess 0's hypothesis is exactly -t
+  // (rho = -1); guess 1's is anticorrelated but weaker (rho = -0.6).
+  const int h0[4] = {3, 2, 1, 0};
+  const int h1[4] = {2, 3, 0, 1};
+  for (int i = 0; i < 4; ++i) {
+    cpa.add_trace({h0[i], h1[i]},
+                  Trace({static_cast<double>(i), 5.0}));
+  }
+  const GenericCpaResult r = cpa.solve();
+  EXPECT_NEAR(r.corr_per_guess[0], -1.0, 1e-12);
+  EXPECT_NEAR(r.corr_per_guess[1], -0.6, 1e-12);
+  // -0.6 > -1.0: the weaker anticorrelation wins in signed mode.
+  EXPECT_EQ(r.best_guess, 1);
+  EXPECT_NEAR(r.best_corr, -0.6, 1e-12);
+}
+
+TEST(GenericCpa, SignedModeStillPrefersPositivePeaks) {
+  GenericCpa cpa(2, 0, SIZE_MAX, /*signed_correlation=*/true);
+  const int h0[4] = {3, 2, 1, 0};  // rho = -1
+  const int h1[4] = {0, 1, 2, 3};  // rho = +1
+  for (int i = 0; i < 4; ++i) {
+    cpa.add_trace({h0[i], h1[i]}, Trace({static_cast<double>(i)}));
+  }
+  const GenericCpaResult r = cpa.solve();
+  EXPECT_EQ(r.best_guess, 1);
+  EXPECT_NEAR(r.best_corr, 1.0, 1e-12);
+}
+
+// Regression: a first trace shorter than a *bounded* window used to
+// silently narrow the window, so every later full-length trace was
+// analyzed over the truncated width.  It now gets the same rejection a
+// short later trace always got.
+TEST(GenericCpa, FirstTraceShorterThanBoundedWindowThrows) {
+  GenericCpa cpa(2, 5, 20);
+  EXPECT_THROW(cpa.add_trace({1, 0}, Trace(std::vector<double>(10, 1.0))),
+               std::invalid_argument);
+}
+
+TEST(Dpa, FirstTraceShorterThanBoundedWindowThrows) {
+  DpaConfig cfg;
+  cfg.window_begin = 10;
+  cfg.window_end = 40;
+  DpaAttack attack(cfg);
+  EXPECT_THROW(attack.add_trace(0, Trace(std::vector<double>(30, 1.0))),
+               std::invalid_argument);
+}
+
+TEST(TraceWindowAdmit, OpenEndedWindowStillClampsToFirstTrace) {
+  // The open-ended default means "to the end of the trace": the first
+  // trace legitimately defines the width.
+  GenericCpa cpa(2, 5);
+  cpa.add_trace({1, 0}, Trace(std::vector<double>(10, 1.0)));
+  cpa.add_trace({0, 1}, Trace(std::vector<double>(10, 2.0)));
+  EXPECT_EQ(cpa.solve().traces_used, 2u);
+}
+
+// Regression: margin_over_runner_up returned 0.0 both for "no positive
+// runner-up" (infinitely separated winner) and a genuine zero margin;
+// the two are now distinguishable.
+TEST(Margin, NoPositiveRunnerUpIsInfinite) {
+  const double scores[3] = {0.5, 0.0, -0.2};
+  const double m = margin_over_runner_up(scores, 3, 0, 0.5);
+  EXPECT_TRUE(std::isinf(m));
+  EXPECT_GT(m, 0.0);
+}
+
+TEST(Margin, GenuineZeroMarginStaysZero) {
+  const double scores[3] = {0.0, 0.2, 0.1};
+  // A zero best score over a positive runner-up is a real zero margin.
+  EXPECT_DOUBLE_EQ(margin_over_runner_up(scores, 3, 0, 0.0), 0.0);
+}
+
+TEST(Margin, PositiveRunnerUpDivides) {
+  const double scores[2] = {0.8, 0.4};
+  EXPECT_DOUBLE_EQ(margin_over_runner_up(scores, 2, 0, 0.8), 2.0);
 }
 
 }  // namespace

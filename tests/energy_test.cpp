@@ -72,6 +72,21 @@ TEST(MaskableBus, CouplingChargesOpposingNormalTransitions) {
   EXPECT_DOUBLE_EQ(bus.transfer(0b10u, false), 0.0);
 }
 
+// Regression: the instruction bus is 33 lines wide (32-bit encoding plus
+// the secure bit), but the transfer path used to truncate values to 32
+// bits, so line 32 — the one line whose toggles encode the secure/normal
+// instruction boundary — never drew energy.
+TEST(MaskableBus, ThirtyThirdLineCarriesEnergy) {
+  const TechParams p;
+  const double unit = p.line_energy(100e-15);
+  MaskableBus bus(33, unit);
+  (void)bus.transfer(0, false);
+  EXPECT_DOUBLE_EQ(bus.transfer(1ull << 32, false), unit);  // bit 32 rises
+  (void)bus.transfer(0, false);
+  // Lines beyond the declared width are still masked off.
+  EXPECT_DOUBLE_EQ(bus.transfer(1ull << 33, false), 0.0);
+}
+
 TEST(MaskableLatch, SecureWriteConstant) {
   const TechParams p;
   const MaskableLatch latch(p.line_energy(p.c_latch_bit));
@@ -233,6 +248,27 @@ TEST(ProcessorModel, XorUnitMatchesPaperConstants) {
   const int n = 5000;
   for (int i = 0; i < n; ++i) sum += xor_cycle(false);
   EXPECT_NEAR(sum / n * 1e12, 0.3, 0.02);
+}
+
+TEST(ProcessorModel, SecureBitTogglesInstrBusLine) {
+  // Two fresh models fetch words identical except for the secure bit
+  // (fetch_bits bit 32).  The extra rising line costs one instruction-bus
+  // line charge plus one coupling event at the line-31/32 boundary —
+  // before the 33rd-line fix the two cycles cost exactly the same.
+  ProcessorEnergyModel m1, m2;
+  CycleActivity a1, a2;
+  a1.fetch = a2.fetch = true;
+  a1.fetch_bits = 0x12345678ull;
+  a2.fetch_bits = 0x12345678ull | (1ull << 32);
+  const double e1 = m1.cycle(a1);
+  const double e2 = m2.cycle(a2);
+  const TechParams& p = m1.params();
+  EXPECT_NEAR(e2 - e1,
+              p.line_energy(p.c_instr_bus_line) +
+                  p.line_energy(p.c_bus_coupling),
+              1e-18);
+  EXPECT_GT(m2.breakdown().get(Component::kInstrBus),
+            m1.breakdown().get(Component::kInstrBus));
 }
 
 TEST(ProcessorModel, DummyLoadChargedPerSecureWriteback) {
