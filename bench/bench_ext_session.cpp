@@ -1,0 +1,172 @@
+// Extension S: protocol-scale CBC sessions through the session engine —
+// key-schedule amortization and fork-vs-cold bit-identity.
+//
+// A session chains N blocks through DES-CBC (or 3DES-EDE outer CBC) under
+// one key; the engine hoists the key schedule ahead of the fork marker so
+// it is simulated once per session instead of once per block.  This bench
+// measures simulated blocks/sec at small session lengths, *proves* the
+// snapshot contract on the spot (forked per-block traces bit-identical to
+// cold captures), and extrapolates the amortized speedup to a 10^5-block
+// session with pure cycle math:
+//
+//   speedup(N) = N * F / (P + N * (F - P))
+//
+// where F is the full cycle count of one block (all stages) and P the
+// summed key-schedule prefix.  Exit status gates the bit-identity checks
+// and the 10^5-block speedup (>= 1.2x) — never wall clock.  The CSV/JSON
+// series carries cycle math only, so two runs byte-diff clean and CI gates
+// the session path on it.
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "session/session.hpp"
+#include "util/rng.hpp"
+
+using namespace emask;
+
+namespace {
+
+constexpr std::size_t kBlocks = 16;  // fully simulated session length
+constexpr std::uint64_t kSeed = 0x5E5510;
+constexpr double kSpeedupGate = 1.2;  // at the 10^5-block session
+
+struct CipherCase {
+  const char* label;
+  session::SessionCipher cipher;
+  compiler::Policy policy;
+};
+
+/// Everything a captured session exposes that must be mode-independent:
+/// the per-block attribution rows plus every raw trace sample.
+struct Captured {
+  session::SessionResult result;
+  std::vector<std::vector<double>> samples;  // one entry per (stage, block)
+  double wall_s = 0.0;
+};
+
+Captured run_session(const CipherCase& c, core::SnapshotMode snapshot,
+                     const std::vector<std::uint64_t>& blocks) {
+  session::SessionConfig cfg;
+  cfg.cipher = c.cipher;
+  cfg.policy = c.policy;
+  cfg.keys = {bench::kKey, 0x23456789ABCDEF01ull, 0x456789ABCDEF0123ull};
+  cfg.iv = bench::kPlain2;
+  cfg.snapshot = snapshot;
+  session::SessionEngine engine(cfg);
+  Captured out;
+  const auto t0 = std::chrono::steady_clock::now();
+  out.result = engine.encrypt(
+      blocks, [&](const session::BlockEvent&, core::EncryptionRun& run) {
+        out.samples.push_back(run.trace.samples());
+      });
+  out.wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return out;
+}
+
+bool identical(const Captured& a, const Captured& b) {
+  if (a.samples != b.samples) return false;
+  if (a.result.output != b.result.output) return false;
+  if (a.result.blocks.size() != b.result.blocks.size()) return false;
+  for (std::size_t i = 0; i < a.result.blocks.size(); ++i) {
+    const session::BlockResult& x = a.result.blocks[i];
+    const session::BlockResult& y = b.result.blocks[i];
+    if (x.input != y.input || x.chain != y.chain || x.output != y.output ||
+        x.cycles != y.cycles || x.energy_uj != y.energy_uj) {
+      return false;
+    }
+  }
+  return a.result.session_cycles == b.result.session_cycles &&
+         a.result.cold_cycles == b.result.cold_cycles;
+}
+
+/// Amortized speedup of an N-block session from one block's cycle counts.
+double projected_speedup(std::uint64_t full, std::uint64_t prefix,
+                         double n) {
+  const double cold = n * static_cast<double>(full);
+  const double amortized =
+      static_cast<double>(prefix) + n * static_cast<double>(full - prefix);
+  return amortized > 0.0 ? cold / amortized : 1.0;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner("Extension S",
+                      "CBC session engine: key-schedule amortization and "
+                      "fork-vs-cold bit-identity at protocol scale.");
+
+  const CipherCase cases[] = {
+      {"des_cbc/selective", session::SessionCipher::kDesCbc,
+       compiler::Policy::kSelective},
+      {"tdes_cbc/original", session::SessionCipher::kTdesEdeCbc,
+       compiler::Policy::kOriginal},
+  };
+  const std::vector<double> lengths = {1.0, 16.0, 256.0, 100000.0};
+
+  std::vector<std::uint64_t> blocks(kBlocks);
+  util::Rng rng(kSeed);
+  for (std::uint64_t& b : blocks) b = rng.next_u64();
+
+  bench::SeriesWriter series("ext_session");
+  series.write_header({"cipher_tdes", "session_blocks", "prefix_cycles",
+                       "block_cycles", "session_cycles", "cold_cycles",
+                       "amortized_speedup", "fork_identical"});
+
+  bool all_identical = true;
+  bool all_fast_enough = true;
+  for (const CipherCase& c : cases) {
+    const Captured fork = run_session(c, core::SnapshotMode::kRequire, blocks);
+    const Captured cold = run_session(c, core::SnapshotMode::kOff, blocks);
+    const bool same = identical(fork, cold);
+    all_identical &= same;
+
+    const session::SessionResult& r = fork.result;
+    const double fork_bps = static_cast<double>(kBlocks) / fork.wall_s;
+    std::printf("\n-- %s: %zu-block session, %zu stage(s)/block --\n", c.label,
+                kBlocks, r.stages);
+    std::printf("wall: fork %.3f s (%.1f blocks/s), cold %.3f s; "
+                "fork vs cold bit-identical: %s\n",
+                fork.wall_s, fork_bps, cold.wall_s, same ? "YES" : "NO");
+    std::printf("cycles: prefix %llu, block %llu, session %llu "
+                "(cold %llu, %.3fx)\n",
+                static_cast<unsigned long long>(r.prefix_cycles),
+                static_cast<unsigned long long>(r.block_cycles),
+                static_cast<unsigned long long>(r.session_cycles),
+                static_cast<unsigned long long>(r.cold_cycles),
+                r.amortized_speedup());
+
+    std::printf("%12s %14s %12s\n", "blocks", "speedup", "est. wall s");
+    const double cycles_per_s =
+        static_cast<double>(r.session_cycles) / fork.wall_s;
+    double gate_speedup = 0.0;
+    for (const double n : lengths) {
+      const double speedup =
+          projected_speedup(r.block_cycles, r.prefix_cycles, n);
+      const double session_cycles =
+          static_cast<double>(r.prefix_cycles) +
+          n * static_cast<double>(r.block_cycles - r.prefix_cycles);
+      std::printf("%12.0f %13.3fx %12.1f\n", n, speedup,
+                  session_cycles / cycles_per_s);
+      series.write_row(
+          {c.cipher == session::SessionCipher::kTdesEdeCbc ? 1.0 : 0.0, n,
+           static_cast<double>(r.prefix_cycles),
+           static_cast<double>(r.block_cycles), session_cycles,
+           n * static_cast<double>(r.block_cycles), speedup,
+           same ? 1.0 : 0.0});
+      if (n == lengths.back()) gate_speedup = speedup;
+    }
+    const bool fast_enough = gate_speedup >= kSpeedupGate;
+    all_fast_enough &= fast_enough;
+    std::printf("amortized speedup at 10^5 blocks >= %.1fx: %s (%.3fx)\n",
+                kSpeedupGate, fast_enough ? "YES" : "NO", gate_speedup);
+  }
+  series.flush();
+
+  std::printf("\nall ciphers fork-vs-cold bit-identical: %s\n",
+              all_identical ? "YES" : "NO");
+  return (all_identical && all_fast_enough) ? 0 : 1;
+}

@@ -1,72 +1,57 @@
 // A realistic card session: encrypt a multi-block message in CBC mode on
-// the masked smart card, one block-encryption per card transaction, with
-// the chaining done host-side (as a terminal would drive a payment card).
+// the masked smart card through the session engine — chaining happens on
+// the device (the chaining XOR is part of the simulated trace) and the key
+// schedule is computed once per session, with blocks 2..N forking from the
+// post-key-schedule snapshot.
 #include <cstdio>
-#include <cstring>
 #include <string>
-#include <vector>
 
-#include "core/masking_pipeline.hpp"
 #include "des/des.hpp"
+#include "session/session.hpp"
 
 using namespace emask;
 
 int main() {
-  const std::uint64_t key = 0x0123456789ABCDEFull;
-  const std::uint64_t iv = 0xFEDCBA9876543210ull;
   const std::string message =
-      "PAY 100.00 EUR TO ACCOUNT 12-3456-789 REF 20260707";  // 56 bytes
+      "PAY 100.00 EUR TO ACCOUNT 12-3456-789 REF 20260707";  // 50 bytes
 
-  // Pack into 64-bit blocks (zero padding — fine for a demo).
-  std::vector<std::uint64_t> blocks;
-  for (std::size_t off = 0; off < message.size(); off += 8) {
-    std::uint64_t b = 0;
-    for (int i = 0; i < 8 && off + static_cast<std::size_t>(i) < message.size(); ++i) {
-      b |= static_cast<std::uint64_t>(
-               static_cast<unsigned char>(message[off + static_cast<std::size_t>(i)]))
-           << (56 - 8 * i);
-    }
-    blocks.push_back(b);
-  }
+  session::SessionConfig cfg;
+  cfg.cipher = session::SessionCipher::kDesCbc;
+  cfg.keys.k1 = 0x0123456789ABCDEFull;
+  cfg.iv = 0xFEDCBA9876543210ull;
+  cfg.policy = compiler::Policy::kSelective;
 
-  const auto card = core::MaskingPipeline::des(compiler::Policy::kSelective);
-  std::vector<std::uint64_t> ciphertext;
-  std::uint64_t chain = iv;
-  double total_uj = 0.0;
-  std::uint64_t total_cycles = 0;
-  for (const std::uint64_t block : blocks) {
-    const core::EncryptionRun run = card.run_des(key, block ^ chain);
-    chain = run.cipher;
-    ciphertext.push_back(chain);
-    total_uj += run.total_uj();
-    total_cycles += run.sim.cycles;
-  }
+  // PKCS#7 padding over 8-byte blocks — 50 bytes become 7 blocks, the
+  // last carrying six 0x06 pad bytes (never a silent zero-pad).
+  const std::vector<std::uint64_t> blocks = session::pack_message(message);
 
-  const auto golden = des::cbc_encrypt(blocks, key, iv);
+  session::SessionEngine card(cfg);
+  const session::SessionResult enc = card.encrypt(blocks);
+
+  const auto golden =
+      des::cbc_encrypt(blocks, cfg.keys.k1, cfg.iv);  // host-side model
   std::printf("message   : \"%s\" (%zu blocks)\n", message.c_str(),
               blocks.size());
   std::printf("ciphertext:");
-  for (const std::uint64_t c : ciphertext) {
+  for (const std::uint64_t c : enc.output) {
     std::printf(" %016llX", static_cast<unsigned long long>(c));
   }
   std::printf("\ngolden CBC: %s\n",
-              ciphertext == golden ? "match" : "MISMATCH");
-  std::printf("session   : %.1f uJ, %llu cycles on the masked card\n",
-              total_uj, static_cast<unsigned long long>(total_cycles));
+              enc.output == golden ? "match" : "MISMATCH");
+  std::printf("session   : %.1f uJ, %llu amortized cycles on the masked "
+              "card (vs %llu cold, %.2fx)\n",
+              enc.total_uj,
+              static_cast<unsigned long long>(enc.session_cycles),
+              static_cast<unsigned long long>(enc.cold_cycles),
+              enc.amortized_speedup());
 
-  // And the terminal can decrypt it back with the decryption program.
-  des::DesAsmOptions dec;
-  dec.decrypt = true;
-  const auto dec_card = core::MaskingPipeline::des(
-      compiler::Policy::kSelective, energy::TechParams::smartcard_025um(),
-      dec);
-  std::vector<std::uint64_t> recovered;
-  chain = iv;
-  for (const std::uint64_t c : ciphertext) {
-    recovered.push_back(dec_card.run_des(key, c).cipher ^ chain);
-    chain = c;
-  }
+  // And the terminal can decrypt it back with the decryption devices.
+  const session::SessionResult dec = card.decrypt(enc.output);
+  const std::vector<std::uint8_t> bytes = session::unpack_message(dec.output);
+  const bool round_trip =
+      dec.output == blocks &&
+      std::string(bytes.begin(), bytes.end()) == message;
   std::printf("round-trip: %s\n",
-              recovered == blocks ? "plaintext recovered" : "FAILED");
-  return (ciphertext == golden && recovered == blocks) ? 0 : 1;
+              round_trip ? "plaintext recovered" : "FAILED");
+  return (enc.output == golden && round_trip) ? 0 : 1;
 }

@@ -1,75 +1,59 @@
 // Triple-DES (EDE3) on the simulated smart card — the construction real
-// payment cards of the era actually ran.  Chains three single-block runs
-// (encrypt with K1, decrypt with K2, encrypt with K3) through the masked
-// processor and cross-checks against the golden model, then reports what
-// the protection costs at 3DES scale.
+// payment cards of the era actually ran, here as a multi-block outer-CBC
+// session through the session engine: every block passes E(K1)-D(K2)-E(K3)
+// on the masked processor, chained on the device, each stage's key
+// schedule computed once per session.  Cross-checks against the golden
+// model, then reports what the protection costs at 3DES scale.
 #include <cstdio>
 
-#include "core/masking_pipeline.hpp"
 #include "des/des.hpp"
+#include "session/session.hpp"
 
 using namespace emask;
 
 int main() {
-  const std::uint64_t k1 = 0x0123456789ABCDEFull;
-  const std::uint64_t k2 = 0x23456789ABCDEF01ull;
-  const std::uint64_t k3 = 0x456789ABCDEF0123ull;
-  const std::uint64_t plaintext = 0x4E6F772069732074ull;  // "Now is t"
+  session::SessionConfig cfg;
+  cfg.cipher = session::SessionCipher::kTdesEdeCbc;
+  cfg.keys = {0x0123456789ABCDEFull, 0x23456789ABCDEF01ull,
+              0x456789ABCDEF0123ull};
+  cfg.iv = 0xA5A5A5A55A5A5A5Aull;
 
-  des::DesAsmOptions dec_opts;
-  dec_opts.decrypt = true;
-  const auto params = energy::TechParams::smartcard_025um();
+  const std::vector<std::uint64_t> blocks =
+      session::pack_message(std::string_view("Now is the time for all "));
 
-  struct Card {
-    core::MaskingPipeline enc;
-    core::MaskingPipeline dec;
-  };
-  const auto make_card = [&](compiler::Policy policy) {
-    return Card{core::MaskingPipeline::des(policy, params),
-                core::MaskingPipeline::des(policy, params, dec_opts)};
+  const auto run_policy = [&](compiler::Policy policy) {
+    session::SessionConfig c = cfg;
+    c.policy = policy;
+    session::SessionEngine card(c);
+    return card.encrypt(blocks);
   };
 
-  const auto run_ede3 = [&](const Card& card, double* total_uj,
-                            std::uint64_t* total_cycles) {
-    *total_uj = 0.0;
-    *total_cycles = 0;
-    const auto stage = [&](const core::MaskingPipeline& p, std::uint64_t key,
-                           std::uint64_t block) {
-      const core::EncryptionRun r = p.run_des(key, block);
-      *total_uj += r.total_uj();
-      *total_cycles += r.sim.cycles;
-      return r.cipher;
-    };
-    const std::uint64_t s1 = stage(card.enc, k1, plaintext);
-    const std::uint64_t s2 = stage(card.dec, k2, s1);
-    return stage(card.enc, k3, s2);
-  };
+  const session::SessionResult original =
+      run_policy(compiler::Policy::kOriginal);
+  const session::SessionResult masked =
+      run_policy(compiler::Policy::kSelective);
+  const std::vector<std::uint64_t> golden =
+      session::golden_encrypt(cfg.cipher, cfg.keys, cfg.iv, blocks);
 
-  const Card original = make_card(compiler::Policy::kOriginal);
-  const Card masked = make_card(compiler::Policy::kSelective);
-
-  double uj_orig = 0, uj_masked = 0;
-  std::uint64_t cyc_orig = 0, cyc_masked = 0;
-  const std::uint64_t ct_orig = run_ede3(original, &uj_orig, &cyc_orig);
-  const std::uint64_t ct_masked = run_ede3(masked, &uj_masked, &cyc_masked);
-  const std::uint64_t golden = des::encrypt_block_ede3(plaintext, k1, k2, k3);
-
-  std::printf("3DES-EDE3 on the simulated card\n");
-  std::printf("plaintext     : 0x%016llX\n",
-              static_cast<unsigned long long>(plaintext));
-  std::printf("card cipher   : 0x%016llX\n",
-              static_cast<unsigned long long>(ct_orig));
-  std::printf("golden cipher : 0x%016llX  (%s)\n",
-              static_cast<unsigned long long>(golden),
-              golden == ct_orig && golden == ct_masked ? "match" : "MISMATCH");
-  std::printf("\nunprotected   : %.1f uJ, %llu cycles\n", uj_orig,
-              static_cast<unsigned long long>(cyc_orig));
+  const bool match = original.output == golden && masked.output == golden;
+  std::printf("3DES-EDE outer-CBC session on the simulated card\n");
+  std::printf("blocks        : %zu (x%zu DES passes each)\n", blocks.size(),
+              original.stages);
+  std::printf("card cipher   : 0x%016llX ...\n",
+              static_cast<unsigned long long>(original.output.front()));
+  std::printf("golden cipher : 0x%016llX ...  (%s)\n",
+              static_cast<unsigned long long>(golden.front()),
+              match ? "match" : "MISMATCH");
+  std::printf("\nunprotected   : %.1f uJ, %llu cycles\n", original.total_uj,
+              static_cast<unsigned long long>(original.cold_cycles));
   std::printf("masked        : %.1f uJ, %llu cycles (+%.1f%% energy, "
               "identical timing)\n",
-              uj_masked, static_cast<unsigned long long>(cyc_masked),
-              100.0 * (uj_masked / uj_orig - 1.0));
-  return (golden == ct_orig && golden == ct_masked &&
-          cyc_orig == cyc_masked)
-             ? 0
-             : 1;
+              masked.total_uj,
+              static_cast<unsigned long long>(masked.cold_cycles),
+              100.0 * (masked.total_uj / original.total_uj - 1.0));
+  std::printf("amortization  : %llu prefix cycles/stage hoisted, %.2fx "
+              "session speedup\n",
+              static_cast<unsigned long long>(masked.prefix_cycles / 3),
+              masked.amortized_speedup());
+  return (match && original.cold_cycles == masked.cold_cycles) ? 0 : 1;
 }

@@ -93,6 +93,14 @@ std::string scenario_artifact_path(const std::string& id, Analysis a) {
   return "scenarios/" + id + "/" + std::string(analysis_artifact(a));
 }
 
+std::string scenario_blocks_path(const std::string& id) {
+  return "scenarios/" + id + "/blocks.csv";
+}
+
+std::string scenario_session_path(const std::string& id) {
+  return "scenarios/" + id + "/session.csv";
+}
+
 void save_checkpoint(const std::string& path, const Scenario& scenario,
                      const ScenarioResult& result,
                      const std::string& spec_hash) {
@@ -214,6 +222,18 @@ void write_manifest(const std::string& path, const CampaignSpec& spec,
   j.value(hex_u64(spec.seed));
   j.key("key");
   j.value(hex_u64(spec.key));
+  // 3DES session keys appear only when the campaign has a tdes_cbc axis
+  // value, so legacy manifests stay byte-identical.
+  bool any_tdes = false;
+  for (const Cipher c : spec.ciphers) {
+    if (c == Cipher::kTdesCbc) any_tdes = true;
+  }
+  if (any_tdes) {
+    j.key("key2");
+    j.value(hex_u64(spec.key2));
+    j.key("key3");
+    j.value(hex_u64(spec.key3));
+  }
   j.key("fixed_input");
   j.value(hex_u64(spec.fixed_input));
   j.key("window_begin");
@@ -243,6 +263,10 @@ void write_manifest(const std::string& path, const CampaignSpec& spec,
     j.value(s.noise_sigma_pj);
     j.key("traces");
     j.value(static_cast<std::uint64_t>(s.traces));
+    if (is_session_cipher(s.cipher)) {
+      j.key("session_length");
+      j.value(static_cast<std::uint64_t>(s.session_length));
+    }
     j.key("coupling_ff");
     j.value(s.coupling_ff);
     j.key("seed");

@@ -144,5 +144,9 @@ struct PolicyRollup {
 [[nodiscard]] std::string scenario_artifact_path(const std::string& id,
                                                  Analysis a);
 [[nodiscard]] std::string scenario_disclosure_path(const std::string& id);
+/// Session-cipher extras beside result.csv: per-block attribution and the
+/// key-schedule amortization accounting.
+[[nodiscard]] std::string scenario_blocks_path(const std::string& id);
+[[nodiscard]] std::string scenario_session_path(const std::string& id);
 
 }  // namespace emask::campaign

@@ -24,6 +24,7 @@
 #include "core/masking_pipeline.hpp"
 #include "core/phase_profile.hpp"
 #include "energy/components.hpp"
+#include "session/session.hpp"
 #include "sha/asm_generator.hpp"
 #include "util/csv.hpp"
 #include "util/json.hpp"
@@ -99,6 +100,9 @@ core::MaskingPipeline build_device(const Scenario& s,
       };
       return core::MaskingPipeline::from_source(source, s.policy, params);
     }
+    case Cipher::kDesCbc:
+    case Cipher::kTdesCbc:
+      break;  // session ciphers never reach build_device
   }
   throw SpecError("unreachable cipher");
 }
@@ -192,6 +196,261 @@ void fill_batch_stats(ScenarioResult& r, const core::BatchStats& stats) {
   r.threads_used = stats.threads_used;
 }
 
+std::string hex64(std::uint64_t v) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// Session-cipher execution: the scenario runs a multi-block CBC session
+/// through session::SessionEngine instead of a single-block device.  The
+/// per-block trace is the unit of attack data (the block index plays the
+/// role `traces` plays elsewhere), and the effective single-DES input of
+/// the chained first pass — plaintext ^ chain, reported by the engine as
+/// BlockEvent::des_input — feeds the round-1 hypotheses exactly like an
+/// ECB plaintext.  Attack windows come from the compiled stage-0 program
+/// (the hoisted key schedule shifts round 1 far past the single-block
+/// spec defaults).  Beside result.csv the scenario writes blocks.csv
+/// (per-block attribution) and session.csv (amortization accounting).
+ScenarioResult run_session_scenario(const CampaignSpec& spec,
+                                    const RunnerOptions& options,
+                                    const Scenario& s,
+                                    const energy::TechParams& params,
+                                    const std::string& dir) {
+  session::SessionConfig cfg;
+  cfg.cipher = s.cipher == Cipher::kDesCbc
+                   ? session::SessionCipher::kDesCbc
+                   : session::SessionCipher::kTdesEdeCbc;
+  cfg.keys = {s.key, s.key2, s.key3};
+  cfg.iv = s.fixed_input;
+  cfg.policy = s.policy;
+  cfg.params = params;
+  cfg.threads = options.jobs;
+  cfg.noise_sigma_pj = s.noise_sigma_pj;
+  cfg.noise_seed = s.seed ^ 0x5EED50FAull;
+  session::SessionEngine engine(cfg);
+
+  ScenarioResult r;
+  r.secured_count = engine.device(0).mask_result().secured_count;
+  r.program_instructions = engine.device(0).program().text.size();
+  r.threads_used = options.jobs;
+
+  // Message blocks are pure functions of the scenario seed — the session
+  // counterpart of the random-plaintext convention.
+  const std::size_t n = s.session_length;
+  std::vector<std::uint64_t> blocks(n);
+  for (std::size_t i = 0; i < n; ++i) blocks[i] = util::Rng::nth(s.seed, i);
+  std::vector<std::uint64_t> des_inputs(n, 0);
+
+  std::unique_ptr<analysis::TraceSetWriter> trace_writer;
+  if (spec.save_traces) {
+    trace_writer =
+        std::make_unique<analysis::TraceSetWriter>(dir + "/traces.emts", n);
+  }
+
+  // Stats accumulate over every simulated (block, stage) run; stage-0
+  // bookkeeping (des_input, saved traces) is per block.
+  const auto accumulate = [&](const session::BlockEvent& ev,
+                              core::EncryptionRun& run) {
+    ++r.encryptions;
+    r.total_cycles += run.sim.cycles;
+    r.total_instructions += run.sim.instructions;
+    r.total_energy_uj += run.total_uj();
+    if (ev.stage == 0) {
+      des_inputs[ev.block] = ev.des_input;
+      if (trace_writer) trace_writer->append(ev.des_input, run.trace);
+    }
+  };
+  // Attack capture windows round 1 of the chained first pass, located in
+  // the compiled program; the session simulates only that pass, truncated
+  // at the window's end.
+  const auto attack_window = [&](std::size_t sbox, std::size_t& begin,
+                                 std::size_t& end) {
+    const core::SboxWindow w =
+        core::des_round1_sbox_window(engine.device(0).program(), sbox);
+    begin = w.valid() ? w.begin : s.window_begin;
+    end = w.valid() ? w.end
+                    : (s.window_end == 0 ? SIZE_MAX : s.window_end);
+    engine.set_stop_after_cycles(w.valid() ? w.end : s.window_end);
+  };
+
+  session::SessionResult session;
+  switch (s.analysis) {
+    case Analysis::kEnergy: {
+      energy::Breakdown breakdown;
+      session = engine.encrypt(
+          blocks, [&](const session::BlockEvent& ev, core::EncryptionRun& run) {
+            accumulate(ev, run);
+            for (std::size_t c = 0; c < energy::kNumComponents; ++c) {
+              const auto component = static_cast<energy::Component>(c);
+              breakdown.add(component, run.breakdown.get(component));
+            }
+          });
+      r.metric = r.mean_uj();
+      r.success = true;
+      write_breakdown_csv(dir, breakdown);
+      break;
+    }
+    case Analysis::kDpa: {
+      analysis::DpaConfig cfg_a;
+      attack_window(cfg_a.sbox, cfg_a.window_begin, cfg_a.window_end);
+      analysis::DpaAttack dpa(cfg_a);
+      if (options.backend != Backend::kScalar) {
+        dpa.set_provider(
+            std::make_shared<bitslice::DpaProvider>(cfg_a.sbox, cfg_a.bit));
+      }
+      DisclosureRecorder disclosure(n);
+      session = engine.encrypt(
+          blocks, [&](const session::BlockEvent& ev, core::EncryptionRun& run) {
+            accumulate(ev, run);
+            dpa.add_trace(ev.des_input, run.trace);
+            disclosure.sample(ev.block, [&] {
+              return as_scores(dpa.solve().peak_per_guess);
+            });
+          });
+      const analysis::DpaResult result = dpa.solve();
+      r.metric = result.best_peak;
+      r.best_guess = result.best_guess;
+      r.true_value =
+          analysis::DpaAttack::true_subkey_chunk(s.key, cfg_a.sbox);
+      r.success = r.best_guess == r.true_value;
+      r.margin = result.margin();
+      write_guesses_csv(dir, result.peak_per_guess, "dom_peak_pj");
+      disclosure.write(dir);
+      break;
+    }
+    case Analysis::kCpa: {
+      analysis::CpaConfig cfg_a;
+      attack_window(cfg_a.sbox, cfg_a.window_begin, cfg_a.window_end);
+      analysis::CpaAttack cpa(cfg_a);
+      if (options.backend != Backend::kScalar) {
+        cpa.set_provider(std::make_shared<bitslice::CpaProvider>(cfg_a.sbox));
+      }
+      DisclosureRecorder disclosure(n);
+      session = engine.encrypt(
+          blocks, [&](const session::BlockEvent& ev, core::EncryptionRun& run) {
+            accumulate(ev, run);
+            cpa.add_trace(ev.des_input, run.trace);
+            disclosure.sample(ev.block, [&] {
+              return as_scores(cpa.solve().corr_per_guess);
+            });
+          });
+      const analysis::CpaResult result = cpa.solve();
+      r.metric = result.best_corr;
+      r.best_guess = result.best_guess;
+      r.true_value =
+          analysis::DpaAttack::true_subkey_chunk(s.key, cfg_a.sbox);
+      r.success = r.best_guess == r.true_value;
+      r.margin = result.margin();
+      write_guesses_csv(dir, result.corr_per_guess, "abs_rho");
+      disclosure.write(dir);
+      break;
+    }
+    case Analysis::kMlpa: {
+      analysis::MlpaConfig cfg_a;
+      attack_window(cfg_a.sbox, cfg_a.window_begin, cfg_a.window_end);
+      analysis::MlpaAttack mlpa(cfg_a);
+      if (options.backend != Backend::kScalar) {
+        std::vector<int> in_masks;
+        for (const analysis::LinearApprox& ap : mlpa.approximations()) {
+          in_masks.push_back(ap.in_mask);
+        }
+        mlpa.set_provider(std::make_shared<bitslice::MlpaProvider>(
+            cfg_a.sbox, std::move(in_masks)));
+      }
+      DisclosureRecorder disclosure(n);
+      session = engine.encrypt(
+          blocks, [&](const session::BlockEvent& ev, core::EncryptionRun& run) {
+            accumulate(ev, run);
+            mlpa.add_trace(ev.des_input, run.trace);
+            disclosure.sample(ev.block, [&] {
+              return as_scores(mlpa.solve().score_per_guess);
+            });
+          });
+      const analysis::MlpaResult result = mlpa.solve();
+      r.metric = result.best_score;
+      r.best_guess = result.best_guess;
+      r.true_value =
+          analysis::DpaAttack::true_subkey_chunk(s.key, cfg_a.sbox);
+      r.success = r.best_guess == r.true_value;
+      r.margin = result.margin();
+      write_guesses_csv(dir, result.score_per_guess, "mlpa_score");
+      disclosure.write(dir);
+      break;
+    }
+    case Analysis::kCollision: {
+      analysis::CollisionConfig cfg_a;
+      attack_window(cfg_a.sbox, cfg_a.window_begin, cfg_a.window_end);
+      analysis::CollisionAttack collision(cfg_a);
+      if (options.backend != Backend::kScalar) {
+        collision.set_provider(
+            std::make_shared<bitslice::CollisionProvider>(cfg_a.sbox));
+      }
+      DisclosureRecorder disclosure(n);
+      session = engine.encrypt(
+          blocks, [&](const session::BlockEvent& ev, core::EncryptionRun& run) {
+            accumulate(ev, run);
+            collision.add_trace(ev.des_input, run.trace);
+            disclosure.sample(ev.block, [&] {
+              return as_scores(collision.solve().score_per_guess);
+            });
+          });
+      const analysis::CollisionResult result = collision.solve();
+      r.metric = result.best_score;
+      r.best_guess = result.best_guess;
+      r.true_value =
+          analysis::DpaAttack::true_subkey_chunk(s.key, cfg_a.sbox);
+      r.success = r.best_guess == r.true_value;
+      r.margin = result.margin();
+      write_guesses_csv(dir, result.score_per_guess, "collision_score");
+      disclosure.write(dir);
+      break;
+    }
+    default:
+      // expand() rejects these; keep the message aligned with its table.
+      throw SpecError("analysis '" + std::string(analysis_name(s.analysis)) +
+                      "' is not defined for session ciphers "
+                      "(expected energy|dpa|cpa|mlpa|collision)");
+  }
+
+  if (trace_writer) {
+    if (trace_writer->written() == n) trace_writer->close();
+    trace_writer.reset();
+  }
+
+  // Per-block attribution.  Deliberately snapshot-mode free: the rows are
+  // byte-identical whether blocks forked from the key-schedule snapshot or
+  // ran cold, which the determinism tests diff.
+  util::CsvWriter bcsv(dir + "/blocks.csv");
+  bcsv.write_header({"block", "plaintext", "chain", "des_input", "output",
+                     "cycles", "energy_uj"});
+  for (std::size_t i = 0; i < session.blocks.size(); ++i) {
+    const session::BlockResult& b = session.blocks[i];
+    bcsv.write_row({std::to_string(i), hex64(b.input), hex64(b.chain),
+                    hex64(des_inputs[i]), hex64(b.output),
+                    std::to_string(b.cycles), fmt(b.energy_uj)});
+  }
+  bcsv.flush();
+
+  // Key-schedule amortization accounting (pure cycle math).
+  util::CsvWriter scsv(dir + "/session.csv");
+  scsv.write_header({"field", "value"});
+  scsv.write_row(
+      {"cipher", std::string(session::session_cipher_name(cfg.cipher))});
+  scsv.write_row({"session_length", std::to_string(n)});
+  scsv.write_row({"stages", std::to_string(session.stages)});
+  scsv.write_row({"prefix_cycles", std::to_string(session.prefix_cycles)});
+  scsv.write_row({"block_cycles", std::to_string(session.block_cycles)});
+  scsv.write_row({"session_cycles", std::to_string(session.session_cycles)});
+  scsv.write_row({"cold_cycles", std::to_string(session.cold_cycles)});
+  scsv.write_row({"amortized_speedup", fmt(session.amortized_speedup())});
+  scsv.write_row({"total_uj", fmt(session.total_uj)});
+  scsv.write_row({"uj_per_block", fmt(session.uj_per_block())});
+  scsv.flush();
+  return r;
+}
+
 }  // namespace
 
 Backend backend_from_name(const std::string& name) {
@@ -220,6 +479,14 @@ ScenarioResult CampaignRunner::execute(const Scenario& s,
                                        const std::string& dir) const {
   const auto t0 = std::chrono::steady_clock::now();
   const energy::TechParams params = s.tech_params(spec_.tech_overrides);
+  if (is_session_cipher(s.cipher)) {
+    ScenarioResult r = run_session_scenario(spec_, options_, s, params, dir);
+    r.wall_seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+    write_result_csv(dir, r);
+    return r;
+  }
   core::BatchConfig bc;
   bc.threads = options_.jobs;
   bc.noise_sigma_pj = s.noise_sigma_pj;

@@ -87,6 +87,8 @@ constexpr AxisName<Cipher> kCipherNames[] = {
     {Cipher::kDes, "des"},
     {Cipher::kAes, "aes"},
     {Cipher::kSha1, "sha1"},
+    {Cipher::kDesCbc, "des_cbc"},
+    {Cipher::kTdesCbc, "tdes_cbc"},
 };
 
 constexpr AxisName<Analysis> kAnalysisNames[] = {
@@ -278,8 +280,8 @@ CampaignSpec CampaignSpec::parse(const std::string& text) {
     throw SpecError("spec: missing [campaign] section");
   }
   check_known_keys(*campaign,
-                   {"name", "seed", "key", "fixed_input", "window_begin",
-                    "window_end", "save_traces"});
+                   {"name", "seed", "key", "key2", "key3", "fixed_input",
+                    "window_begin", "window_end", "save_traces"});
   const IniFile::Entry* name = campaign->find("name");
   if (name == nullptr || name->value.empty()) {
     throw SpecError("campaign.name is required");
@@ -290,6 +292,12 @@ CampaignSpec CampaignSpec::parse(const std::string& text) {
   }
   if (const auto* v = ini.find("campaign", "key")) {
     spec.key = spec_u64_or_hex("campaign.key", *v);
+  }
+  if (const auto* v = ini.find("campaign", "key2")) {
+    spec.key2 = spec_u64_or_hex("campaign.key2", *v);
+  }
+  if (const auto* v = ini.find("campaign", "key3")) {
+    spec.key3 = spec_u64_or_hex("campaign.key3", *v);
   }
   if (const auto* v = ini.find("campaign", "fixed_input")) {
     spec.fixed_input = spec_u64_or_hex("campaign.fixed_input", *v);
@@ -311,8 +319,8 @@ CampaignSpec CampaignSpec::parse(const std::string& text) {
 
   const IniFile::Section* axes = ini.find_section("axes");
   if (axes == nullptr) throw SpecError("spec: missing [axes] section");
-  check_known_keys(
-      *axes, {"cipher", "policy", "analysis", "noise", "traces", "coupling"});
+  check_known_keys(*axes, {"cipher", "policy", "analysis", "noise", "traces",
+                           "session_length", "coupling"});
 
   for (const std::string& item : axis_items(*axes, "cipher")) {
     spec.ciphers.push_back(cipher_from_name(item));
@@ -335,6 +343,12 @@ CampaignSpec CampaignSpec::parse(const std::string& text) {
     if (count == 0) throw SpecError("axes.traces: must be >= 1");
     spec.traces.push_back(count);
   }
+  for (const std::string& item : axis_items(*axes, "session_length")) {
+    const auto length = static_cast<std::size_t>(
+        spec_scalar("axes.session_length", item, ArgParser::parse_u64));
+    if (length == 0) throw SpecError("axes.session_length: must be >= 1");
+    spec.session_lengths.push_back(length);
+  }
   for (const std::string& item : axis_items(*axes, "coupling")) {
     const double ff =
         spec_scalar("axes.coupling", item, ArgParser::parse_double);
@@ -350,6 +364,7 @@ CampaignSpec CampaignSpec::parse(const std::string& text) {
   if (spec.analyses.empty()) spec.analyses = {Analysis::kEnergy};
   if (spec.noise.empty()) spec.noise = {0.0};
   if (spec.traces.empty()) spec.traces = {1};
+  if (spec.session_lengths.empty()) spec.session_lengths = {1};
   if (spec.coupling_ff.empty()) spec.coupling_ff = {0.0};
 
   if (const IniFile::Section* tech = ini.find_section("tech")) {
@@ -391,66 +406,112 @@ std::vector<Scenario> CampaignSpec::expand() const {
       for (const Analysis analysis : analyses) {
         for (const double sigma : noise) {
           for (const std::size_t count : traces) {
-            for (const double coupling : coupling_ff) {
-              if (analysis == Analysis::kDpa && cipher != Cipher::kDes) {
-                throw SpecError(
-                    "analysis 'dpa' is DES-only (no hypothesis engine for " +
-                    std::string(cipher_name(cipher)) + ")");
+            for (const std::size_t length : session_lengths) {
+              for (const double coupling : coupling_ff) {
+                const bool session = is_session_cipher(cipher);
+                const bool attack = analysis == Analysis::kDpa ||
+                                    analysis == Analysis::kCpa ||
+                                    analysis == Analysis::kSecondOrder ||
+                                    analysis == Analysis::kTvla ||
+                                    analysis == Analysis::kMlpa ||
+                                    analysis == Analysis::kCollision;
+                // Session ciphers get their own table-driven analysis
+                // message (checked first so it wins over the generic
+                // DES-only errors below).
+                if (session && (analysis == Analysis::kTvla ||
+                                analysis == Analysis::kSecondOrder)) {
+                  throw SpecError(
+                      "analysis '" + std::string(analysis_name(analysis)) +
+                      "' is not defined for session cipher '" +
+                      std::string(cipher_name(cipher)) +
+                      "' (expected energy|dpa|cpa|mlpa|collision)");
+                }
+                if (analysis == Analysis::kDpa && cipher != Cipher::kDes &&
+                    !session) {
+                  throw SpecError(
+                      "analysis 'dpa' is DES-only (no hypothesis engine "
+                      "for " +
+                      std::string(cipher_name(cipher)) + ")");
+                }
+                if (analysis == Analysis::kSecondOrder &&
+                    cipher != Cipher::kDes) {
+                  throw SpecError("analysis 'second_order' is DES-only");
+                }
+                if ((analysis == Analysis::kMlpa ||
+                     analysis == Analysis::kCollision) &&
+                    cipher != Cipher::kDes && !session) {
+                  throw SpecError("analysis '" +
+                                  std::string(analysis_name(analysis)) +
+                                  "' is DES-only (round-1 S-box target)");
+                }
+                if (analysis == Analysis::kCpa && cipher == Cipher::kSha1) {
+                  throw SpecError(
+                      "analysis 'cpa' needs a keyed hypothesis — sha1 "
+                      "supports energy|tvla only");
+                }
+                if (length > 1 && !session) {
+                  throw SpecError(
+                      "axes.session_length > 1 requires a session cipher "
+                      "(expected des_cbc|tdes_cbc, got " +
+                      std::string(cipher_name(cipher)) + ")");
+                }
+                if (session && count != 1) {
+                  throw SpecError(
+                      "session cipher '" +
+                      std::string(cipher_name(cipher)) +
+                      "' requires traces = 1 — session_length is the "
+                      "per-block trace axis");
+                }
+                if (session && attack && length < 2) {
+                  throw SpecError(std::string("analysis '") +
+                                  std::string(analysis_name(analysis)) +
+                                  "' on a session cipher needs "
+                                  "session_length >= 2");
+                }
+                if (attack && !session && count < 2) {
+                  throw SpecError(std::string("analysis '") +
+                                  std::string(analysis_name(analysis)) +
+                                  "' needs traces >= 2");
+                }
+                Scenario s;
+                s.index = index;
+                s.cipher = cipher;
+                s.policy = policy;
+                s.analysis = analysis;
+                s.noise_sigma_pj = sigma;
+                s.traces = count;
+                s.session_length = session ? length : 1;
+                s.coupling_ff = coupling;
+                s.seed = util::Rng::nth(seed, index);
+                s.key = key;
+                s.key2 = key2;
+                s.key3 = key3;
+                s.fixed_input = fixed_input;
+                s.window_begin = window_begin;
+                s.window_end = window_end;
+                char buf[192];
+                char noise_buf[32];
+                char coupling_buf[32];
+                char session_buf[32] = "";
+                std::snprintf(noise_buf, sizeof noise_buf, "%g", sigma);
+                std::snprintf(coupling_buf, sizeof coupling_buf, "%g",
+                              coupling);
+                // Non-session ids keep the historical shape so existing
+                // fixtures and resume checkpoints stay valid.
+                if (session) {
+                  std::snprintf(session_buf, sizeof session_buf, "-s%zu",
+                                length);
+                }
+                std::snprintf(
+                    buf, sizeof buf, "%04zu-%s-%s-%s-n%s-t%zu%s-c%s", index,
+                    std::string(cipher_name(cipher)).c_str(),
+                    std::string(compiler::policy_name(policy)).c_str(),
+                    std::string(analysis_name(analysis)).c_str(), noise_buf,
+                    count, session_buf, coupling_buf);
+                s.id = buf;
+                scenarios.push_back(std::move(s));
+                ++index;
               }
-              if (analysis == Analysis::kSecondOrder &&
-                  cipher != Cipher::kDes) {
-                throw SpecError("analysis 'second_order' is DES-only");
-              }
-              if ((analysis == Analysis::kMlpa ||
-                   analysis == Analysis::kCollision) &&
-                  cipher != Cipher::kDes) {
-                throw SpecError("analysis '" +
-                                std::string(analysis_name(analysis)) +
-                                "' is DES-only (round-1 S-box target)");
-              }
-              if (analysis == Analysis::kCpa && cipher == Cipher::kSha1) {
-                throw SpecError(
-                    "analysis 'cpa' needs a keyed hypothesis — sha1 "
-                    "supports energy|tvla only");
-              }
-              if ((analysis == Analysis::kDpa ||
-                   analysis == Analysis::kCpa ||
-                   analysis == Analysis::kSecondOrder ||
-                   analysis == Analysis::kTvla ||
-                   analysis == Analysis::kMlpa ||
-                   analysis == Analysis::kCollision) &&
-                  count < 2) {
-                throw SpecError(
-                    std::string("analysis '") +
-                    std::string(analysis_name(analysis)) +
-                    "' needs traces >= 2");
-              }
-              Scenario s;
-              s.index = index;
-              s.cipher = cipher;
-              s.policy = policy;
-              s.analysis = analysis;
-              s.noise_sigma_pj = sigma;
-              s.traces = count;
-              s.coupling_ff = coupling;
-              s.seed = util::Rng::nth(seed, index);
-              s.key = key;
-              s.fixed_input = fixed_input;
-              s.window_begin = window_begin;
-              s.window_end = window_end;
-              char buf[160];
-              char noise_buf[32];
-              char coupling_buf[32];
-              std::snprintf(noise_buf, sizeof noise_buf, "%g", sigma);
-              std::snprintf(coupling_buf, sizeof coupling_buf, "%g", coupling);
-              std::snprintf(buf, sizeof buf, "%04zu-%s-%s-%s-n%s-t%zu-c%s",
-                            index, std::string(cipher_name(cipher)).c_str(),
-                            std::string(compiler::policy_name(policy)).c_str(),
-                            std::string(analysis_name(analysis)).c_str(),
-                            noise_buf, count, coupling_buf);
-              s.id = buf;
-              scenarios.push_back(std::move(s));
-              ++index;
             }
           }
         }

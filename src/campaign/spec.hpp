@@ -8,19 +8,29 @@
 //   name = fig12_overhead          # campaign identifier (manifest, dirs)
 //   seed = 0xC0FFEE                # base seed; scenario i uses Rng::nth(seed, i)
 //   key = 0x133457799BBCDFF1       # cipher key material
-//   fixed_input = 0x0123456789ABCDEF  # fixed-class input (TVLA, energy runs)
+//   key2 = 0x23456789ABCDEF01      # 3DES middle key (tdes_cbc sessions)
+//   key3 = 0x456789ABCDEF0123      # 3DES final key (tdes_cbc sessions)
+//   fixed_input = 0x0123456789ABCDEF  # fixed-class input (TVLA, energy
+//                                  # runs) and the session-cipher IV
 //   window_begin = 3000            # analysis window (cycles)
 //   window_end = 13000             # also the capture stop_after_cycles
 //   save_traces = false            # additionally write traces.emts per scenario
 //
 //   [axes]                         # each key is one axis; values are lists
-//   cipher = des                   # des | aes | sha1
+//   cipher = des                   # des | aes | sha1 | des_cbc | tdes_cbc
 //   policy = original, selective, naive_loadstore, all_secure
 //   analysis = energy              # energy | dpa | cpa | tvla |
 //                                  # second_order | mlpa | collision
 //   noise = 0                      # Gaussian measurement noise sigma, pJ
 //   traces = 1                     # encryptions per scenario
+//   session_length = 1             # blocks per session (session ciphers)
 //   coupling = 0                   # adjacent-line bus coupling, fF
+//
+// Session ciphers (des_cbc, tdes_cbc) run multi-block CBC sessions through
+// src/session: `key2`/`key3` in [campaign] supply the extra 3DES keys and
+// `fixed_input` doubles as the IV.  For them the per-block trace is the
+// unit of attack data, so `traces` must stay 1 and attacks require
+// session_length >= 2.
 //
 //   [tech]                         # optional TechParams overrides (by field
 //   vdd = 2.5                      # name), applied to every scenario
@@ -51,7 +61,20 @@ class SpecError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
-enum class Cipher { kDes, kAes, kSha1 };
+enum class Cipher {
+  kDes,
+  kAes,
+  kSha1,
+  kDesCbc,   // multi-block DES-CBC session (src/session)
+  kTdesCbc,  // multi-block 3DES-EDE outer-CBC session (src/session)
+};
+
+/// True for the protocol-scale session workloads (des_cbc / tdes_cbc) that
+/// run through session::SessionEngine instead of a single-block device.
+[[nodiscard]] constexpr bool is_session_cipher(Cipher c) {
+  return c == Cipher::kDesCbc || c == Cipher::kTdesCbc;
+}
+
 enum class Analysis {
   kEnergy,
   kDpa,
@@ -82,8 +105,14 @@ struct Scenario {
   double noise_sigma_pj = 0.0;
   std::size_t traces = 1;
   double coupling_ff = 0.0;
+  /// Blocks per session for session ciphers (des_cbc / tdes_cbc); always 1
+  /// for single-block ciphers.  Session scenarios treat the block index —
+  /// not `traces` — as the trace axis.
+  std::size_t session_length = 1;
   std::uint64_t seed = 0;  // Rng::nth(campaign seed, index)
   std::uint64_t key = 0;
+  std::uint64_t key2 = 0;  // 3DES middle key (tdes_cbc only)
+  std::uint64_t key3 = 0;  // 3DES final key (tdes_cbc only)
   std::uint64_t fixed_input = 0;
   std::size_t window_begin = 0;
   std::size_t window_end = 0;  // capture stop_after_cycles (0 = to halt)
@@ -97,6 +126,10 @@ struct CampaignSpec {
   std::string name;
   std::uint64_t seed = 0xC0FFEE;
   std::uint64_t key = 0x133457799BBCDFF1ull;
+  // 3DES session key material (used by tdes_cbc scenarios only); defaults
+  // match examples/triple_des_card.
+  std::uint64_t key2 = 0x23456789ABCDEF01ull;
+  std::uint64_t key3 = 0x456789ABCDEF0123ull;
   std::uint64_t fixed_input = 0x0123456789ABCDEFull;
   std::size_t window_begin = 3000;
   std::size_t window_end = 13000;
@@ -107,6 +140,7 @@ struct CampaignSpec {
   std::vector<Analysis> analyses;
   std::vector<double> noise;
   std::vector<std::size_t> traces;
+  std::vector<std::size_t> session_lengths;  // session ciphers only
   std::vector<double> coupling_ff;
 
   std::vector<std::pair<std::string, double>> tech_overrides;

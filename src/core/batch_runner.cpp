@@ -90,17 +90,24 @@ void BatchRunner::capture_each(
   // One encryption, with per-index measurement noise.  The noise RNG is
   // seeded from the batch index (not from a stream shared across traces),
   // so noisy captures honour the determinism contract too.
-  const auto run_one = [this, &snap](const MaskingPipeline& device,
-                                     const BatchInput& input,
-                                     std::size_t index) -> EncryptionRun {
+  const bool chained = !config_.run_function && pipeline_.has_iv();
+  const auto run_one = [this, &snap, chained](const MaskingPipeline& device,
+                                              const BatchInput& input,
+                                              std::size_t index)
+      -> EncryptionRun {
     EncryptionRun run =
         config_.run_function
             ? config_.run_function(device, input)
         : (snap.has_value() && input.key == snap->key)
-            ? device.run_des_from(*snap, input.plaintext,
-                                  config_.stop_after_cycles)
-            : device.run_des(input.key, input.plaintext,
-                             config_.stop_after_cycles);
+            ? (chained ? device.run_des_cbc_from(*snap, input.plaintext,
+                                                 input.iv,
+                                                 config_.stop_after_cycles)
+                       : device.run_des_from(*snap, input.plaintext,
+                                             config_.stop_after_cycles))
+        : (chained ? device.run_des_cbc(input.key, input.plaintext, input.iv,
+                                        config_.stop_after_cycles)
+                   : device.run_des(input.key, input.plaintext,
+                                    config_.stop_after_cycles));
     if (config_.noise_sigma_pj > 0.0) {
       analysis::NoiseModel noise(config_.noise_sigma_pj,
                                  util::Rng::nth(config_.noise_seed, index));

@@ -52,6 +52,11 @@ namespace emask::core {
 struct BatchInput {
   std::uint64_t key = 0;
   std::uint64_t plaintext = 0;
+  /// CBC chaining value, poked into the `iv` symbol of cbc_chain programs
+  /// (the session layer precomputes the chain via the golden model so every
+  /// block stays a pure function of its batch index).  Ignored for programs
+  /// without an `iv` symbol.
+  std::uint64_t iv = 0;
 };
 
 /// Produces the input for batch index `i`.  Must be a pure function of the

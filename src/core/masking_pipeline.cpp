@@ -50,13 +50,27 @@ EncryptionRun MaskingPipeline::simulate(const assembler::Program& program,
   return run;
 }
 
-EncryptionRun MaskingPipeline::run_des(std::uint64_t key,
-                                       std::uint64_t plaintext,
-                                       std::uint64_t stop_after_cycles) const {
+EncryptionRun MaskingPipeline::cold_des(const std::uint64_t* iv,
+                                        std::uint64_t key,
+                                        std::uint64_t plaintext,
+                                        std::uint64_t stop_after_cycles) const {
   assembler::Program program = masked_.program;  // copy, then poke inputs
   des::poke_key(program, key);
   des::poke_plaintext(program, plaintext);
+  if (iv != nullptr) des::poke_iv(program, *iv);
   return simulate(program, stop_after_cycles);
+}
+
+EncryptionRun MaskingPipeline::run_des(std::uint64_t key,
+                                       std::uint64_t plaintext,
+                                       std::uint64_t stop_after_cycles) const {
+  return cold_des(nullptr, key, plaintext, stop_after_cycles);
+}
+
+EncryptionRun MaskingPipeline::run_des_cbc(
+    std::uint64_t key, std::uint64_t plaintext, std::uint64_t iv,
+    std::uint64_t stop_after_cycles) const {
+  return cold_des(&iv, key, plaintext, stop_after_cycles);
 }
 
 DesSnapshot MaskingPipeline::snapshot_des(std::uint64_t key) const {
@@ -102,11 +116,23 @@ DesSnapshot MaskingPipeline::snapshot_des(std::uint64_t key) const {
 EncryptionRun MaskingPipeline::run_des_from(
     const DesSnapshot& snapshot, std::uint64_t plaintext,
     std::uint64_t stop_after_cycles) const {
+  return forked_des(snapshot, nullptr, plaintext, stop_after_cycles);
+}
+
+EncryptionRun MaskingPipeline::run_des_cbc_from(
+    const DesSnapshot& snapshot, std::uint64_t plaintext, std::uint64_t iv,
+    std::uint64_t stop_after_cycles) const {
+  return forked_des(snapshot, &iv, plaintext, stop_after_cycles);
+}
+
+EncryptionRun MaskingPipeline::forked_des(
+    const DesSnapshot& snapshot, const std::uint64_t* iv,
+    std::uint64_t plaintext, std::uint64_t stop_after_cycles) const {
   // A budget ending at or before the fork point cannot reuse the captured
   // prefix without overrunning it — fall back to a cold start so the
   // emitted trace is never longer than requested.
   if (stop_after_cycles != 0 && stop_after_cycles <= snapshot.fork_cycle) {
-    return run_des(snapshot.key, plaintext, stop_after_cycles);
+    return cold_des(iv, snapshot.key, plaintext, stop_after_cycles);
   }
   if (snapshot.machine.text_size != masked_.program.text.size()) {
     throw std::invalid_argument(
@@ -115,6 +141,7 @@ EncryptionRun MaskingPipeline::run_des_from(
   EncryptionRun run;
   sim::Pipeline pipeline(snapshot.program, snapshot.machine);
   des::poke_plaintext(pipeline.memory(), snapshot.program, plaintext);
+  if (iv != nullptr) des::poke_iv(pipeline.memory(), snapshot.program, *iv);
   energy::ProcessorEnergyModel model = snapshot.model;  // resume mid-trace
   run.trace = snapshot.prefix;  // splice the shared prefix in front
   if (stop_after_cycles == 0) {

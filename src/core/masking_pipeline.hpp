@@ -73,6 +73,19 @@ class MaskingPipeline {
                                       std::uint64_t plaintext,
                                       std::uint64_t stop_after_cycles = 0) const;
 
+  /// run_des for a CBC-chained program (DesAsmOptions::cbc_chain): also
+  /// pokes the chaining value into the `iv` symbol.  Throws
+  /// std::invalid_argument when the program has no `iv` symbol.
+  [[nodiscard]] EncryptionRun run_des_cbc(
+      std::uint64_t key, std::uint64_t plaintext, std::uint64_t iv,
+      std::uint64_t stop_after_cycles = 0) const;
+
+  /// True when the compiled program carries the cbc_chain `iv` symbol —
+  /// its runs must go through run_des_cbc / run_des_cbc_from.
+  [[nodiscard]] bool has_iv() const {
+    return des::has_iv_symbol(masked_.program);
+  }
+
   /// Simulates the program as-is (non-DES sources).
   [[nodiscard]] EncryptionRun run_raw() const;
 
@@ -97,6 +110,14 @@ class MaskingPipeline {
   [[nodiscard]] EncryptionRun run_des_from(const DesSnapshot& snapshot,
                                            std::uint64_t plaintext,
                                            std::uint64_t stop_after_cycles = 0) const;
+
+  /// run_des_from for a CBC-chained program: pokes both the plaintext and
+  /// the chaining value into the forked memory (both symbols are first read
+  /// after the fork marker).  Bit-identical to the corresponding
+  /// run_des_cbc cold start.
+  [[nodiscard]] EncryptionRun run_des_cbc_from(
+      const DesSnapshot& snapshot, std::uint64_t plaintext, std::uint64_t iv,
+      std::uint64_t stop_after_cycles = 0) const;
 
   /// Simulates an externally patched copy of the compiled program (e.g.
   /// after poking a new SHA-1 message block into its data image).  The
@@ -125,6 +146,15 @@ class MaskingPipeline {
 
   [[nodiscard]] EncryptionRun simulate(const assembler::Program& program,
                                        std::uint64_t stop_after_cycles = 0) const;
+
+  [[nodiscard]] EncryptionRun cold_des(const std::uint64_t* iv,
+                                       std::uint64_t key,
+                                       std::uint64_t plaintext,
+                                       std::uint64_t stop_after_cycles) const;
+  [[nodiscard]] EncryptionRun forked_des(const DesSnapshot& snapshot,
+                                         const std::uint64_t* iv,
+                                         std::uint64_t plaintext,
+                                         std::uint64_t stop_after_cycles) const;
 
   compiler::MaskResult masked_;
   compiler::Policy policy_;

@@ -136,6 +136,25 @@ class TextEmitter {
     step_i(name, n);
   }
 
+  /// for (i = 0; i < n; ++i) dst[i] ^= src[i];  (CBC chaining XOR)
+  void xor_into_loop(const std::string& name, int n,
+                     const std::string& src_slot,
+                     const std::string& dst_slot) {
+    line("sw   $zero, " + slots_.at("var_i"));
+    label(name);
+    line("lw   $t9, " + slots_.at("var_i"));
+    line("sll  $t8, $t9, 2");
+    line("lw   $t0, " + slots_.at(dst_slot));
+    line("addu $t0, $t0, $t8");
+    line("lw   $t1, 0($t0)");
+    line("lw   $t2, " + slots_.at(src_slot));
+    line("addu $t2, $t2, $t8");
+    line("lw   $t3, 0($t2)");
+    line("xor  $t4, $t1, $t3");
+    line("sw   $t4, 0($t0)");
+    step_i(name, n);
+  }
+
   /// Rotates the 28 words whose base address is in `base_slot` left by one.
   void rotate_once(const std::string& name, const std::string& base_slot) {
     line("lw   $t0, " + slots_.at(base_slot));
@@ -223,6 +242,10 @@ std::string generate_des_asm(std::uint64_t key, std::uint64_t plaintext,
     slots.declare(slot);
   }
   if (hoist) slots.declare("ks_pb");  // base of the precomputed subkeys
+  if (options.cbc_chain) {
+    slots.declare("cbc_ps");  // iv base
+    slots.declare("cbc_pd");  // chain destination (plain or cipher)
+  }
 
   std::ostringstream os;
   os << "# DES encryption, bit-per-word layout (generated)\n";
@@ -230,6 +253,7 @@ std::string generate_des_asm(std::uint64_t key, std::uint64_t plaintext,
   emit_bit_words(os, "key", key);
   if (options.secret_key) os << ".secret key\n";
   emit_bit_words(os, "plain", plaintext);
+  if (options.cbc_chain) os << "iv:      .space 256\n";  // chaining value
   os << "cipher:  .space 256\n";
   if (options.declassify_output) os << ".declassified cipher\n";
   os << "lr:      .space 256\n";   // L = lr[0..31], R = lr[32..63]
@@ -309,6 +333,10 @@ std::string generate_des_asm(std::uint64_t key, std::uint64_t plaintext,
   e.spill("prel_pd", "preout", 128);
   e.spill("sh_pt", "shift_tab");
   if (hoist) e.spill("ks_pb", "subkeys");
+  if (options.cbc_chain) {
+    e.spill("cbc_ps", "iv");
+    e.spill("cbc_pd", options.decrypt ? "cipher" : "plain");
+  }
 
   // Rotate C and D by shift_tab[var_m]; `prefix` disambiguates the loop
   // labels between the in-round and the hoisted key-schedule placement
@@ -356,7 +384,18 @@ std::string generate_des_asm(std::uint64_t key, std::uint64_t plaintext,
     e.line("sw   $t0, " + slots.at(dst_slot));
   };
 
+  // CBC input chaining (encryption): plain[i] ^= iv[i] before IP.  Both
+  // operands are public — the iv is the previous ciphertext block — so no
+  // masking policy secures the loop.  Placed after the fork marker in the
+  // hoisted shape so forked blocks can poke a fresh chaining value.
+  const auto emit_cbc_in = [&] {
+    if (!options.cbc_chain || options.decrypt) return;
+    e.comment("CBC chaining: plain[i] ^= iv[i] (public previous cipher)");
+    e.xor_into_loop("cbc_loop", 64, "cbc_ps", "cbc_pd");
+  };
+
   if (!hoist) {
+    emit_cbc_in();
     e.comment("initial permutation: lr[i] = plain[IP[i]]  (no secret involved)");
     e.perm_loop("ip_loop", 64, "ip_pt", "ip_ps", "ip_pd");
   }
@@ -379,6 +418,7 @@ std::string generate_des_asm(std::uint64_t key, std::uint64_t plaintext,
     e.comment("snapshot capture resumes per-plaintext runs from here");
     e.line("fork");
 
+    emit_cbc_in();
     e.comment("initial permutation: lr[i] = plain[IP[i]]  (no secret involved)");
     e.perm_loop("ip_loop", 64, "ip_pt", "ip_ps", "ip_pd");
   }
@@ -508,6 +548,12 @@ std::string generate_des_asm(std::uint64_t key, std::uint64_t plaintext,
   e.comment("(insecure, Fig. 2(b))");
   e.perm_loop("fp_loop", 64, "fp_pt", "fp_ps", "fp_pd");
 
+  if (options.cbc_chain && options.decrypt) {
+    e.comment("CBC output chaining: cipher[i] ^= iv[i] (declassified value");
+    e.comment("xor public previous cipher block)");
+    e.xor_into_loop("cbc_loop", 64, "cbc_ps", "cbc_pd");
+  }
+
   e.line("halt");
   return os.str();
 }
@@ -531,6 +577,33 @@ void poke_plaintext(sim::DataMemory& memory, const assembler::Program& program,
                       static_cast<std::uint32_t>(
                           util::bit_of64(plaintext, 63 - i)));
   }
+}
+
+void poke_iv(assembler::Program& program, std::uint64_t iv) {
+  const assembler::DataSymbol* s = program.find_symbol("iv");
+  if (s == nullptr || s->size_bytes < 64 * 4) {
+    throw std::invalid_argument(
+        "poke_iv: program has no iv symbol (generate with cbc_chain)");
+  }
+  poke_block(program, "iv", iv);
+}
+
+void poke_iv(sim::DataMemory& memory, const assembler::Program& program,
+             std::uint64_t iv) {
+  const assembler::DataSymbol* s = program.find_symbol("iv");
+  if (s == nullptr || s->size_bytes < 64 * 4) {
+    throw std::invalid_argument(
+        "poke_iv: program has no iv symbol (generate with cbc_chain)");
+  }
+  for (unsigned i = 0; i < 64; ++i) {
+    memory.store_word(s->address + i * 4,
+                      static_cast<std::uint32_t>(util::bit_of64(iv, 63 - i)));
+  }
+}
+
+bool has_iv_symbol(const assembler::Program& program) {
+  const assembler::DataSymbol* s = program.find_symbol("iv");
+  return s != nullptr && s->size_bytes >= 64 * 4;
 }
 
 std::uint64_t read_cipher(const sim::DataMemory& memory,

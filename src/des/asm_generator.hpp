@@ -43,6 +43,16 @@ struct DesAsmOptions {
   /// generation with the rounds (Fig. 2), and the figure reproductions
   /// depend on that shape.
   bool hoist_key_schedule = false;
+  /// CBC chaining on the device: the program grows an `iv` data symbol (64
+  /// bit-words, poked per block via poke_iv).  Encryption XORs the chaining
+  /// value into `plain` before the initial permutation; decryption XORs it
+  /// into `cipher` after the output permutation.  Both sides of the XOR are
+  /// public (the chaining value is the previous ciphertext), so the loop
+  /// stays insecure under every masking policy.  With hoist_key_schedule
+  /// the loop sits after the `fork` marker, so snapshot/fork capture can
+  /// poke a fresh iv per forked block.  Off by default: the classic
+  /// single-block program is byte-identical without it.
+  bool cbc_chain = false;
 };
 
 /// Emits the complete assembly source for encrypting one block.
@@ -60,6 +70,16 @@ void poke_plaintext(assembler::Program& program, std::uint64_t plaintext);
 /// the program image can no longer seed it).
 void poke_plaintext(sim::DataMemory& memory, const assembler::Program& program,
                     std::uint64_t plaintext);
+
+/// Replaces the 64 bit-words of the `iv` symbol (cbc_chain programs only;
+/// throws std::invalid_argument when the program was generated without
+/// cbc_chain).  Same program-image / live-memory split as poke_plaintext.
+void poke_iv(assembler::Program& program, std::uint64_t iv);
+void poke_iv(sim::DataMemory& memory, const assembler::Program& program,
+             std::uint64_t iv);
+
+/// True when the program carries the cbc_chain `iv` symbol.
+[[nodiscard]] bool has_iv_symbol(const assembler::Program& program);
 
 /// Packs the 64 bit-words of the `cipher` symbol from simulated memory.
 [[nodiscard]] std::uint64_t read_cipher(const sim::DataMemory& memory,

@@ -131,6 +131,32 @@ std::vector<std::uint64_t> cbc_decrypt(
   return out;
 }
 
+std::vector<std::uint64_t> cbc_encrypt_ede3(
+    const std::vector<std::uint64_t>& blocks, std::uint64_t k1,
+    std::uint64_t k2, std::uint64_t k3, std::uint64_t iv) {
+  std::vector<std::uint64_t> out;
+  out.reserve(blocks.size());
+  std::uint64_t chain = iv;
+  for (const std::uint64_t block : blocks) {
+    chain = encrypt_block_ede3(block ^ chain, k1, k2, k3);
+    out.push_back(chain);
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> cbc_decrypt_ede3(
+    const std::vector<std::uint64_t>& blocks, std::uint64_t k1,
+    std::uint64_t k2, std::uint64_t k3, std::uint64_t iv) {
+  std::vector<std::uint64_t> out;
+  out.reserve(blocks.size());
+  std::uint64_t chain = iv;
+  for (const std::uint64_t block : blocks) {
+    out.push_back(decrypt_block_ede3(block, k1, k2, k3) ^ chain);
+    chain = block;
+  }
+  return out;
+}
+
 std::uint8_t round1_sbox_input(std::uint64_t plaintext, int s) {
   const std::uint64_t ip = initial_permutation(plaintext);
   const auto r0 = static_cast<std::uint32_t>(ip & 0xFFFFFFFFu);

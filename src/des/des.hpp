@@ -47,6 +47,15 @@ struct KeySchedule {
     const std::vector<std::uint64_t>& blocks, std::uint64_t key,
     std::uint64_t iv);
 
+/// Triple-DES EDE CBC ("outer CBC", as in PuTTY's des_3cbc_encrypt): one
+/// chaining XOR per block around the full EDE cascade.
+[[nodiscard]] std::vector<std::uint64_t> cbc_encrypt_ede3(
+    const std::vector<std::uint64_t>& blocks, std::uint64_t k1,
+    std::uint64_t k2, std::uint64_t k3, std::uint64_t iv);
+[[nodiscard]] std::vector<std::uint64_t> cbc_decrypt_ede3(
+    const std::vector<std::uint64_t>& blocks, std::uint64_t k1,
+    std::uint64_t k2, std::uint64_t k3, std::uint64_t iv);
+
 // ---- Exposed internals (tests, DPA hypothesis engine, asm generator) ----
 
 /// Initial permutation IP and its inverse.

@@ -397,6 +397,84 @@ void disclosure_section(std::ostringstream& out, const Model& m) {
   out << "</table>\n";
 }
 
+std::string session_field(const util::CsvTable& t, const char* name) {
+  if (!has_column(t, "field") || !has_column(t, "value")) return "";
+  const std::size_t field_col = t.column("field");
+  const std::size_t value_col = t.column("value");
+  for (const auto& row : t.rows) {
+    if (row[field_col] == name) return row[value_col];
+  }
+  return "";
+}
+
+/// Session workloads: key-schedule amortization table plus leakage-vs-
+/// block-index charts, emitted only when the campaign has session-cipher
+/// scenarios (des_cbc / tdes_cbc) carrying session.csv — legacy manifests
+/// render byte-identically to before sessions existed.
+void session_section(std::ostringstream& out, const Model& m) {
+  std::vector<const ScenarioEntry*> rows;
+  for (const ScenarioEntry& e : m.scenarios) {
+    if (campaign::is_session_cipher(e.scenario.cipher) && e.session_present) {
+      rows.push_back(&e);
+    }
+  }
+  if (rows.empty()) return;
+
+  out << "<h2>Session workloads</h2>\n"
+      << "<p>Multi-block CBC sessions chained on the device, key schedule "
+         "hoisted and computed once per session.  <i>cold cycles</i> is "
+         "what the session would cost restarting every block from scratch; "
+         "<i>session cycles</i> amortizes the key-schedule prefix across "
+         "the blocks.</p>\n";
+
+  out << "<table>\n<tr><th class=\"l\">scenario</th><th class=\"l\">cipher"
+         "</th><th>blocks</th><th>stages</th><th>prefix cycles</th>"
+         "<th>block cycles</th><th>session cycles</th><th>cold cycles</th>"
+         "<th>speedup</th></tr>\n";
+  for (const ScenarioEntry* e : rows) {
+    const util::CsvTable& t = e->session;
+    out << "<tr><td class=\"l\"><code>" << esc(e->scenario.id)
+        << "</code></td><td class=\"l\">" << esc(session_field(t, "cipher"))
+        << "</td><td>" << esc(session_field(t, "session_length"))
+        << "</td><td>" << esc(session_field(t, "stages")) << "</td><td>"
+        << esc(session_field(t, "prefix_cycles")) << "</td><td>"
+        << esc(session_field(t, "block_cycles")) << "</td><td>"
+        << esc(session_field(t, "session_cycles")) << "</td><td>"
+        << esc(session_field(t, "cold_cycles")) << "</td><td>"
+        << num_or_na(cell_to_double(session_field(t, "amortized_speedup")))
+        << "</td></tr>\n";
+  }
+  out << "</table>\n";
+
+  // Per-block energy: leakage vs. block index for the full-session
+  // (energy-analysis) scenarios.  A flat line is the expected shape — a
+  // trend with block index would mean the chaining value leaks into the
+  // energy envelope.
+  LineChartSpec spec;
+  spec.title = "Energy per block vs. block index";
+  spec.x_label = "block index";
+  spec.y_label = "uJ per block";
+  for (const ScenarioEntry* e : rows) {
+    if (e->scenario.analysis != campaign::Analysis::kEnergy ||
+        !e->blocks_present) {
+      continue;
+    }
+    const util::CsvTable& t = e->blocks;
+    if (!has_column(t, "block") || !has_column(t, "energy_uj")) continue;
+    const std::size_t block_col = t.column("block");
+    const std::size_t energy_col = t.column("energy_uj");
+    LineSeries series;
+    series.label = e->scenario.id;
+    for (const auto& row : t.rows) {
+      series.xs.push_back(cell_to_double(row[block_col]));
+      series.ys.push_back(cell_to_double(row[energy_col]));
+    }
+    downsample(series.xs, series.ys, 1200);
+    spec.series.push_back(std::move(series));
+  }
+  if (!spec.series.empty()) out << line_chart(spec) << "\n";
+}
+
 void artifact_chart(std::ostringstream& out, const ScenarioEntry& e) {
   if (!e.artifact_present) {
     out << "<p class=\"miss\">artifact <code>" << esc(e.artifact_path)
@@ -497,6 +575,9 @@ void scenario_section(std::ostringstream& out, const ScenarioEntry& e) {
   prow("analysis", std::string(campaign::analysis_name(s.analysis)));
   prow("noise sigma (pJ)", num_or_na(s.noise_sigma_pj));
   prow("traces", std::to_string(s.traces));
+  if (campaign::is_session_cipher(s.cipher)) {
+    prow("session length (blocks)", std::to_string(s.session_length));
+  }
   prow("coupling (fF)", num_or_na(s.coupling_ff));
   out << "</table>\n";
 
@@ -550,6 +631,7 @@ std::string render(const Model& model, const RenderOptions& options) {
   status_section(out, model);
   sweep_section(out, model);
   disclosure_section(out, model);
+  session_section(out, model);
 
   if (!model.scenarios.empty()) {
     out << "<h2>Scenarios</h2>\n";

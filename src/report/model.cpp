@@ -118,6 +118,10 @@ Model Model::from_manifest(const std::string& manifest_text,
     s.analysis = campaign::analysis_from_name(row.at("analysis").as_string());
     s.noise_sigma_pj = row.at("noise_sigma_pj").as_double();
     s.traces = static_cast<std::size_t>(row.at("traces").as_u64());
+    // Optional (session scenarios only); absent in legacy manifests.
+    if (const util::JsonValue* length = row.find("session_length")) {
+      s.session_length = static_cast<std::size_t>(length->as_u64());
+    }
     s.coupling_ff = row.at("coupling_ff").as_double();
     s.seed = hex_field(row, "seed");
     s.key = key;
@@ -142,6 +146,20 @@ Model Model::from_manifest(const std::string& manifest_text,
       if (fs::exists(disclosure)) {
         entry.disclosure = util::load_csv_file(disclosure.string());
         entry.disclosure_present = true;
+      }
+    }
+    if (campaign::is_session_cipher(s.cipher)) {
+      const fs::path blocks =
+          fs::path(dir) / campaign::scenario_blocks_path(s.id);
+      if (fs::exists(blocks)) {
+        entry.blocks = util::load_csv_file(blocks.string());
+        entry.blocks_present = true;
+      }
+      const fs::path session =
+          fs::path(dir) / campaign::scenario_session_path(s.id);
+      if (fs::exists(session)) {
+        entry.session = util::load_csv_file(session.string());
+        entry.session_present = true;
       }
     }
     model.scenarios.push_back(std::move(entry));

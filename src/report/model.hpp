@@ -54,6 +54,13 @@ struct ScenarioEntry {
   /// absence does not count toward missing_artifacts.
   util::CsvTable disclosure;
   bool disclosure_present = false;
+  /// Session-cipher extras (blocks.csv / session.csv), joined for
+  /// des_cbc / tdes_cbc scenarios only.  Optional in the same sense as
+  /// the disclosure curve.
+  util::CsvTable blocks;
+  bool blocks_present = false;
+  util::CsvTable session;
+  bool session_present = false;
 };
 
 /// One roll-up row: recomputed measurement plus the manifest's paper
