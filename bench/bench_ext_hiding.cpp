@@ -1,0 +1,75 @@
+// Extension: the countermeasure zoo's energy bill.  One full DES
+// encryption under each masking/hiding policy, reporting total energy,
+// the overhead ratio against the unprotected device, and the cycle count
+// (shuffle_nop pays in time, wddl in switched capacitance,
+// random_precharge splits the difference).  Exit code gates the
+// qualitative claims: every policy preserves the ciphertext, and every
+// hiding policy costs energy or cycles over the baseline.
+#include "bench_common.hpp"
+
+#include "hiding/policy.hpp"
+
+using namespace emask;
+
+namespace {
+
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6f", v);
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner("Ext: hiding countermeasures",
+                      "Energy and cycle overhead of the hiding policies "
+                      "(WDDL, random precharge, NOP shuffling) against the "
+                      "unprotected and masked devices.");
+
+  const char* kPolicies[] = {"original",         "selective", "wddl",
+                             "random_precharge", "shuffle_nop",
+                             "selective+wddl"};
+
+  bench::SeriesWriter csv("ext_hiding");
+  csv.write_header({"policy", "total_uj", "ratio_vs_original", "cycles"});
+
+  double base_uj = 0.0;
+  std::uint64_t base_cycles = 0;
+  std::uint64_t base_cipher = 0;
+  bool ok = true;
+  std::printf("%-18s %12s %8s %10s\n", "policy", "total uJ", "ratio",
+              "cycles");
+  for (const char* name : kPolicies) {
+    const auto device =
+        core::MaskingPipeline::des(hiding::countermeasure_from_name(name));
+    const auto run = device.run_des(bench::kKey, bench::kPlain);
+    const double uj = run.total_uj();
+    if (base_uj == 0.0) {
+      base_uj = uj;
+      base_cycles = run.sim.cycles;
+      base_cipher = run.cipher;
+    }
+    const double ratio = uj / base_uj;
+    std::printf("%-18s %12.3f %8.3f %10llu\n", name, uj, ratio,
+                static_cast<unsigned long long>(run.sim.cycles));
+    csv.write_row(std::vector<std::string>{
+        name, fmt(uj), fmt(ratio),
+        std::to_string(static_cast<unsigned long long>(run.sim.cycles))});
+
+    if (run.cipher != base_cipher) {
+      std::printf("FAIL: %s changed the ciphertext\n", name);
+      ok = false;
+    }
+    const bool hiding_policy =
+        hiding::countermeasure_from_name(name).hiding !=
+        hiding::HidingPolicy::kNone;
+    if (hiding_policy && uj <= base_uj && run.sim.cycles <= base_cycles) {
+      std::printf("FAIL: %s is free — no energy or cycle overhead\n", name);
+      ok = false;
+    }
+  }
+  csv.flush();
+  std::printf("series -> %s/ext_hiding.csv\n", bench::out_dir().c_str());
+  return ok ? 0 : 1;
+}

@@ -33,7 +33,7 @@ std::vector<PolicyRollup> rollup_by_policy(
     if (o.scenario.analysis == Analysis::kEnergy) any_energy = true;
   }
   std::vector<PolicyRollup> rollups;
-  for (const compiler::Policy policy : spec.policies) {
+  for (const hiding::Countermeasure& policy : spec.policies) {
     PolicyRollup r;
     r.policy = policy;
     double sum = 0.0;
@@ -51,9 +51,9 @@ std::vector<PolicyRollup> rollup_by_policy(
 }
 
 const double* find_reference(const CampaignSpec& spec,
-                             compiler::Policy policy) {
+                             const hiding::Countermeasure& policy) {
   for (const auto& [name, uj] : spec.reference_uj) {
-    if (name == compiler::policy_name(policy)) return &uj;
+    if (name == policy.name()) return &uj;
   }
   return nullptr;
 }
@@ -256,7 +256,7 @@ void write_manifest(const std::string& path, const CampaignSpec& spec,
     j.key("cipher");
     j.value(std::string(cipher_name(s.cipher)));
     j.key("policy");
-    j.value(std::string(compiler::policy_name(s.policy)));
+    j.value(s.policy.name());
     j.key("analysis");
     j.value(std::string(analysis_name(s.analysis)));
     j.key("noise_sigma_pj");
@@ -329,12 +329,16 @@ void write_manifest(const std::string& path, const CampaignSpec& spec,
   for (const PolicyRollup& r : rollups) {
     j.begin_object();
     j.key("policy");
-    j.value(std::string(compiler::policy_name(r.policy)));
+    j.value(r.policy.name());
     j.key("scenarios");
     j.value(static_cast<std::uint64_t>(r.scenarios));
     j.key("mean_uj");
     j.value(r.mean_uj);
-    const double ratio = baseline > 0.0 ? r.mean_uj / baseline : 0.0;
+    // A zero baseline (no energy data for the first policy) makes the
+    // ratio undefined — emit null (NaN serializes as null), never a
+    // misleading 0.0.
+    const double ratio =
+        baseline > 0.0 ? r.mean_uj / baseline : std::nan("");
     j.key("ratio");
     j.value(ratio);
     if (const double* ref = find_reference(spec, r.policy)) {
@@ -349,6 +353,13 @@ void write_manifest(const std::string& path, const CampaignSpec& spec,
         j.key("normalized_uj");
         j.value(ratio * *ref_baseline);
       }
+    } else if (ref_baseline != nullptr && *ref_baseline > 0.0 &&
+               std::isfinite(ratio)) {
+      // No paper number for this policy (the paper predates the hiding
+      // countermeasures), but its measured ratio still projects onto the
+      // paper's absolute scale for side-by-side comparison.
+      j.key("normalized_uj");
+      j.value(ratio * *ref_baseline);
     }
     j.end_object();
   }
@@ -393,7 +404,7 @@ void write_summary_csv(const std::string& path,
   for (const ScenarioOutcome& o : outcomes) {
     const Scenario& s = o.scenario;
     summary.write_row({s.id, std::string(cipher_name(s.cipher)),
-                       std::string(compiler::policy_name(s.policy)),
+                       s.policy.name(),
                        std::string(analysis_name(s.analysis)),
                        fmt(s.noise_sigma_pj), std::to_string(s.traces),
                        fmt(s.coupling_ff), fmt(o.result.mean_uj()),

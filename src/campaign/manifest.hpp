@@ -117,7 +117,7 @@ void write_timings(const std::string& path,
 /// scenarios (energy-analysis scenarios preferred when the campaign has
 /// any — they run the whole program, not an attack window).
 struct PolicyRollup {
-  compiler::Policy policy;
+  hiding::Countermeasure policy;
   std::size_t scenarios = 0;
   double mean_uj = 0.0;
 };
@@ -125,9 +125,10 @@ struct PolicyRollup {
 [[nodiscard]] std::vector<PolicyRollup> rollup_by_policy(
     const CampaignSpec& spec, const std::vector<ScenarioOutcome>& outcomes);
 
-/// The spec's [reference] value for a policy, or nullptr.
-[[nodiscard]] const double* find_reference(const CampaignSpec& spec,
-                                           compiler::Policy policy);
+/// The spec's [reference] value for a policy (matched by canonical
+/// countermeasure name), or nullptr.
+[[nodiscard]] const double* find_reference(
+    const CampaignSpec& spec, const hiding::Countermeasure& policy);
 
 /// Filename of the analysis-specific artifact CSV the runner writes beside
 /// result.csv: breakdown.csv (energy), guesses.csv (dpa/cpa/second_order),

@@ -1,5 +1,6 @@
 #include "campaign/runner.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <chrono>
 #include <filesystem>
@@ -76,8 +77,14 @@ core::MaskingPipeline build_device(const Scenario& s,
       s.analysis == Analysis::kEnergy ? 0 : s.window_end;
   bc.stop_after_cycles = stop;
   switch (s.cipher) {
-    case Cipher::kDes:
-      return core::MaskingPipeline::des(s.policy, params);
+    case Cipher::kDes: {
+      core::MaskingPipeline device = core::MaskingPipeline::des(s.policy, params);
+      // Per-trace hiding randomness (random_precharge stream, shuffle_nop
+      // schedule) derives from the scenario seed, so it is as reproducible
+      // as the plaintext sequence.
+      device.set_hiding_seed(s.seed ^ 0x48D1D6F0ull);
+      return device;
+    }
     case Cipher::kAes: {
       const std::string source = aes::generate_aes_asm(
           aes_key_from_u64(s.key), aes::Block{});  // block poked per run
@@ -229,6 +236,7 @@ ScenarioResult run_session_scenario(const CampaignSpec& spec,
   cfg.threads = options.jobs;
   cfg.noise_sigma_pj = s.noise_sigma_pj;
   cfg.noise_seed = s.seed ^ 0x5EED50FAull;
+  cfg.hiding_seed = s.seed ^ 0x48D1D6F0ull;  // matches the single-block path
   session::SessionEngine engine(cfg);
 
   ScenarioResult r;
@@ -267,8 +275,22 @@ ScenarioResult run_session_scenario(const CampaignSpec& spec,
   // at the window's end.
   const auto attack_window = [&](std::size_t sbox, std::size_t& begin,
                                  std::size_t& end) {
+    // Shuffled sessions need the widest window over every delay schedule;
+    // see the single-block path for the derivation rationale.
+    const bool shuffled =
+        s.policy.hiding == hiding::HidingPolicy::kShuffleNop;
     const core::SboxWindow w =
-        core::des_round1_sbox_window(engine.device(0).program(), sbox);
+        shuffled ? core::des_round1_sbox_window_bounds(
+                       engine.device(0).program(), static_cast<int>(sbox),
+                       hiding::kShuffleNopMaxDelay)
+                 : core::des_round1_sbox_window(engine.device(0).program(),
+                                                static_cast<int>(sbox));
+    if (shuffled && !w.valid()) {
+      throw SpecError(s.id +
+                      ": cannot derive a shuffle-aware attack window (the "
+                      "program lacks the generator's round_loop/sbox_loop "
+                      "labels)");
+    }
     begin = w.valid() ? w.begin : s.window_begin;
     end = w.valid() ? w.end
                     : (s.window_end == 0 ? SIZE_MAX : s.window_end);
@@ -492,6 +514,35 @@ ScenarioResult CampaignRunner::execute(const Scenario& s,
   bc.noise_sigma_pj = s.noise_sigma_pj;
   bc.noise_seed = s.seed ^ 0x5EED50FAull;
   const core::MaskingPipeline device = build_device(s, params, bc);
+
+  // Shuffled devices desynchronize the cycle axis, so a fixed-schedule
+  // window can silently truncate late-shifted traces.  Derive the widest
+  // window — begin from the zero-delay schedule, end from the all-max
+  // schedule — from the compiled program, and fail loudly if the program
+  // lacks the labels rather than falling back to the spec window.
+  const bool shuffled = s.policy.hiding == hiding::HidingPolicy::kShuffleNop;
+  const auto sbox_window = [&](std::size_t sbox) -> core::SboxWindow {
+    const core::SboxWindow w =
+        shuffled ? core::des_round1_sbox_window_bounds(
+                       device.program(), static_cast<int>(sbox),
+                       hiding::kShuffleNopMaxDelay)
+                 : core::des_round1_sbox_window(device.program(),
+                                                static_cast<int>(sbox));
+    if (shuffled && !w.valid()) {
+      throw SpecError(s.id +
+                      ": cannot derive a shuffle-aware attack window (the "
+                      "program lacks the generator's round_loop/sbox_loop "
+                      "labels)");
+    }
+    return w;
+  };
+  if (shuffled && s.analysis != Analysis::kEnergy &&
+      bc.stop_after_cycles != 0) {
+    // The shuffled program runs longer than the classic one; the capture
+    // must cover the widest schedule or TraceWindow::admit will throw.
+    bc.stop_after_cycles =
+        std::max<std::uint64_t>(bc.stop_after_cycles, sbox_window(7).end);
+  }
   core::BatchRunner runner(device, bc);
 
   ScenarioResult r;
@@ -699,8 +750,7 @@ ScenarioResult CampaignRunner::execute(const Scenario& s,
     }
     case Analysis::kMlpa: {
       analysis::MlpaConfig cfg;
-      const core::SboxWindow w =
-          core::des_round1_sbox_window(device.program(), cfg.sbox);
+      const core::SboxWindow w = sbox_window(cfg.sbox);
       cfg.window_begin = w.valid() ? w.begin : s.window_begin;
       cfg.window_end = w.valid() ? w.end : window_end;
       analysis::MlpaAttack mlpa(cfg);
@@ -736,8 +786,7 @@ ScenarioResult CampaignRunner::execute(const Scenario& s,
     }
     case Analysis::kCollision: {
       analysis::CollisionConfig cfg;
-      const core::SboxWindow w =
-          core::des_round1_sbox_window(device.program(), cfg.sbox);
+      const core::SboxWindow w = sbox_window(cfg.sbox);
       cfg.window_begin = w.valid() ? w.begin : s.window_begin;
       cfg.window_end = w.valid() ? w.end : window_end;
       analysis::CollisionAttack collision(cfg);
@@ -897,7 +946,7 @@ void CampaignRunner::print_matrix(const CampaignSpec& spec,
   for (const Scenario& s : scenarios) {
     std::fprintf(out, "%-40s %6s %16s %12s %8zu\n", s.id.c_str(),
                  std::string(cipher_name(s.cipher)).c_str(),
-                 std::string(compiler::policy_name(s.policy)).c_str(),
+                 s.policy.name().c_str(),
                  std::string(analysis_name(s.analysis)).c_str(), s.traces);
     encryptions += s.traces;
   }
@@ -920,15 +969,27 @@ void CampaignRunner::print_summary(const CampaignSpec& spec,
   }
   std::fprintf(out, "\n");
   for (const PolicyRollup& r : rollups) {
-    const double ratio = baseline > 0.0 ? r.mean_uj / baseline : 0.0;
-    std::fprintf(out, "%-16s %12.3f %8.3f",
-                 std::string(compiler::policy_name(r.policy)).c_str(),
-                 r.mean_uj, ratio);
+    // A missing baseline makes the ratio undefined; print n/a, never a
+    // misleading 0.000.
+    std::fprintf(out, "%-16s %12.3f", r.policy.name().c_str(), r.mean_uj);
+    if (baseline > 0.0) {
+      std::fprintf(out, " %8.3f", r.mean_uj / baseline);
+    } else {
+      std::fprintf(out, " %8s", "n/a");
+    }
     const double* ref = find_reference(spec, r.policy);
-    if (with_reference && ref != nullptr && ref_baseline != nullptr &&
-        *ref_baseline > 0.0) {
-      std::fprintf(out, " %10.1f %8.3f %14.2f", *ref, *ref / *ref_baseline,
-                   ratio * *ref_baseline);
+    if (with_reference && ref_baseline != nullptr && *ref_baseline > 0.0 &&
+        baseline > 0.0) {
+      const double ratio = r.mean_uj / baseline;
+      if (ref != nullptr) {
+        std::fprintf(out, " %10.1f %8.3f %14.2f", *ref, *ref / *ref_baseline,
+                     ratio * *ref_baseline);
+      } else {
+        // The paper has no number for this policy (hiding countermeasures
+        // postdate it); only the projected energy is meaningful.
+        std::fprintf(out, " %10s %8s %14.2f", "n/a", "n/a",
+                     ratio * *ref_baseline);
+      }
     }
     std::fprintf(out, "\n");
   }

@@ -101,22 +101,6 @@ constexpr AxisName<Analysis> kAnalysisNames[] = {
     {Analysis::kCollision, "collision"},
 };
 
-// Policy names live with the masking compiler; reuse them rather than
-// keeping a second copy of the strings here.
-const std::array<AxisName<compiler::Policy>, 4>& policy_names_table() {
-  static const std::array<AxisName<compiler::Policy>, 4> table = {{
-      {compiler::Policy::kOriginal,
-       compiler::policy_name(compiler::Policy::kOriginal)},
-      {compiler::Policy::kSelective,
-       compiler::policy_name(compiler::Policy::kSelective)},
-      {compiler::Policy::kNaiveLoadStore,
-       compiler::policy_name(compiler::Policy::kNaiveLoadStore)},
-      {compiler::Policy::kAllSecure,
-       compiler::policy_name(compiler::Policy::kAllSecure)},
-  }};
-  return table;
-}
-
 template <typename T, typename Table>
 T axis_from_name(const Table& table, const std::string& name,
                  const char* what) {
@@ -158,9 +142,14 @@ Analysis analysis_from_name(const std::string& name) {
   return axis_from_name<Analysis>(kAnalysisNames, name, "analysis");
 }
 
-compiler::Policy policy_from_name(const std::string& name) {
-  return axis_from_name<compiler::Policy>(policy_names_table(), name,
-                                          "policy");
+hiding::Countermeasure policy_from_name(const std::string& name) {
+  // The countermeasure tables (src/hiding) are the single source of truth
+  // for the names; here we only rebadge their error as a SpecError.
+  try {
+    return hiding::countermeasure_from_name(name);
+  } catch (const std::invalid_argument& e) {
+    throw SpecError(e.what());
+  }
 }
 
 std::string fnv1a_hex(const std::string& text) {
@@ -380,7 +369,7 @@ CampaignSpec CampaignSpec::parse(const std::string& text) {
 
   if (const IniFile::Section* reference = ini.find_section("reference")) {
     for (const IniFile::Entry& e : reference->entries) {
-      policy_from_name(e.key);  // keys are policy names
+      static_cast<void>(policy_from_name(e.key));  // keys are policy names
       spec.reference_uj.emplace_back(
           e.key,
           spec_scalar("reference." + e.key, e.value, ArgParser::parse_double));
@@ -402,7 +391,7 @@ std::vector<Scenario> CampaignSpec::expand() const {
   std::vector<Scenario> scenarios;
   std::size_t index = 0;
   for (const Cipher cipher : ciphers) {
-    for (const compiler::Policy policy : policies) {
+    for (const hiding::Countermeasure& policy : policies) {
       for (const Analysis analysis : analyses) {
         for (const double sigma : noise) {
           for (const std::size_t count : traces) {
@@ -473,6 +462,17 @@ std::vector<Scenario> CampaignSpec::expand() const {
                                   std::string(analysis_name(analysis)) +
                                   "' needs traces >= 2");
                 }
+                // Hiding countermeasures are DES-device features: wddl and
+                // random_precharge live in the DES device's energy model
+                // wiring, shuffle_nop in the DES generator's nop_tab slots.
+                if (policy.hiding != hiding::HidingPolicy::kNone &&
+                    cipher != Cipher::kDes && !session) {
+                  throw SpecError(
+                      "policy '" + policy.name() +
+                      "': hiding countermeasures are DES-only (expected "
+                      "des|des_cbc|tdes_cbc, got " +
+                      std::string(cipher_name(cipher)) + ")");
+                }
                 Scenario s;
                 s.index = index;
                 s.cipher = cipher;
@@ -505,7 +505,7 @@ std::vector<Scenario> CampaignSpec::expand() const {
                 std::snprintf(
                     buf, sizeof buf, "%04zu-%s-%s-%s-n%s-t%zu%s-c%s", index,
                     std::string(cipher_name(cipher)).c_str(),
-                    std::string(compiler::policy_name(policy)).c_str(),
+                    policy.name().c_str(),
                     std::string(analysis_name(analysis)).c_str(), noise_buf,
                     count, session_buf, coupling_buf);
                 s.id = buf;

@@ -53,6 +53,7 @@
 
 #include "compiler/masking.hpp"
 #include "energy/params.hpp"
+#include "hiding/policy.hpp"
 
 namespace emask::campaign {
 
@@ -93,14 +94,18 @@ enum class Analysis {
 // Each throws SpecError naming the unknown value.
 [[nodiscard]] Cipher cipher_from_name(const std::string& name);
 [[nodiscard]] Analysis analysis_from_name(const std::string& name);
-[[nodiscard]] compiler::Policy policy_from_name(const std::string& name);
+// The policy axis accepts the full countermeasure grammar — a masking name,
+// a hiding name ("wddl", "random_precharge", "shuffle_nop"), or a
+// "masking+hiding" pair — and delegates to hiding::countermeasure_from_name,
+// the single source of truth for the names.
+[[nodiscard]] hiding::Countermeasure policy_from_name(const std::string& name);
 
 /// One cell of the campaign matrix, fully resolved.
 struct Scenario {
   std::size_t index = 0;  // position in expansion order
   std::string id;         // "0003-des-selective-tvla-n25-t60-c0"
   Cipher cipher = Cipher::kDes;
-  compiler::Policy policy = compiler::Policy::kOriginal;
+  hiding::Countermeasure policy;  // masking and/or hiding countermeasure
   Analysis analysis = Analysis::kEnergy;
   double noise_sigma_pj = 0.0;
   std::size_t traces = 1;
@@ -136,7 +141,7 @@ struct CampaignSpec {
   bool save_traces = false;
 
   std::vector<Cipher> ciphers;
-  std::vector<compiler::Policy> policies;
+  std::vector<hiding::Countermeasure> policies;
   std::vector<Analysis> analyses;
   std::vector<double> noise;
   std::vector<std::size_t> traces;

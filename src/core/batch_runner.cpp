@@ -67,6 +67,13 @@ void BatchRunner::capture_each(
           "BatchRunner: SnapshotMode::kRequire but the program declares no "
           "fork marker (generate with DesAsmOptions::hoist_key_schedule)");
     }
+    if (!pipeline_.fork_eligible()) {
+      throw std::logic_error(
+          "BatchRunner: SnapshotMode::kRequire but the device's " +
+          pipeline_.countermeasure().name() +
+          " countermeasure draws per-trace randomness from cycle 0 and "
+          "cannot share a prefix — use SnapshotMode::kAuto or kOff");
+    }
   }
 
   // Shared-prefix snapshot, captured once for the batch's first key.  Runs
@@ -75,7 +82,7 @@ void BatchRunner::capture_each(
   // Workers only read the snapshot; memory forks copy-on-write.
   std::optional<DesSnapshot> snap;
   if (count > 0 && !config_.run_function &&
-      config_.snapshot != SnapshotMode::kOff && pipeline_.has_fork_point()) {
+      config_.snapshot != SnapshotMode::kOff && pipeline_.fork_eligible()) {
     snap.emplace(pipeline_.snapshot_des(generator(0).key));
     stats_.snapshot_prefix_cycles = snap->fork_cycle;
   }

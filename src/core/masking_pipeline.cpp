@@ -4,30 +4,78 @@
 #include <utility>
 
 #include "assembler/assembler.hpp"
+#include "util/rng.hpp"
 
 namespace emask::core {
 
-MaskingPipeline MaskingPipeline::des(compiler::Policy policy,
+MaskingPipeline MaskingPipeline::des(const hiding::Countermeasure& policy,
                                      const energy::TechParams& params,
                                      const des::DesAsmOptions& asm_options) {
+  des::DesAsmOptions options = asm_options;
+  if (policy.hiding == hiding::HidingPolicy::kShuffleNop) {
+    options.shuffle_slots = true;
+  }
   // Key/plaintext placeholders; run_des pokes real values per run.
-  const std::string source = des::generate_des_asm(0, 0, asm_options);
+  const std::string source = des::generate_des_asm(0, 0, options);
   return from_source(source, policy, params);
 }
 
 MaskingPipeline MaskingPipeline::from_source(const std::string& source,
-                                             compiler::Policy policy,
+                                             const hiding::Countermeasure& policy,
                                              const energy::TechParams& params) {
   assembler::Program program = assembler::assemble(source);
-  compiler::MaskResult masked = compiler::apply_masking(program, policy);
+  if (policy.hiding == hiding::HidingPolicy::kShuffleNop &&
+      !des::has_nop_table(program)) {
+    throw std::invalid_argument(
+        "from_source: shuffle_nop needs the DES generator's nop_tab delay "
+        "slots (generate with DesAsmOptions::shuffle_slots)");
+  }
+  compiler::MaskResult masked = compiler::apply_masking(program, policy.masking);
   return MaskingPipeline(std::move(masked), policy, params);
 }
 
+std::uint64_t MaskingPipeline::run_hiding_seed(std::uint64_t plaintext) const {
+  // Pure function of (base seed, plaintext): forked and cold runs of the
+  // same input draw identical streams at any thread count.
+  return util::Rng(hiding_seed_ ^
+                   (plaintext * 0x9E3779B97F4A7C15ull)).next_u64();
+}
+
+std::vector<std::uint32_t> MaskingPipeline::shuffle_schedule(
+    std::uint64_t run_seed) {
+  std::vector<std::uint32_t> delays(des::kShuffleSlotCount);
+  util::Rng rng(run_seed);
+  for (std::uint32_t& d : delays) {
+    d = static_cast<std::uint32_t>(
+        rng.next_below(hiding::kShuffleNopMaxDelay + 1));
+  }
+  return delays;
+}
+
+energy::HidingConfig MaskingPipeline::hiding_config(
+    std::uint64_t run_seed) const {
+  energy::HidingConfig cfg;
+  switch (policy_.hiding) {
+    case hiding::HidingPolicy::kWddl:
+      cfg.mode = energy::HidingMode::kConstant;
+      break;
+    case hiding::HidingPolicy::kRandomPrecharge:
+      cfg.mode = energy::HidingMode::kRandomPrecharge;
+      cfg.seed = run_seed;
+      break;
+    case hiding::HidingPolicy::kNone:
+    case hiding::HidingPolicy::kShuffleNop:  // program-level; model untouched
+      break;
+  }
+  return cfg;
+}
+
 EncryptionRun MaskingPipeline::simulate(const assembler::Program& program,
-                                        std::uint64_t stop_after_cycles) const {
+                                        std::uint64_t stop_after_cycles,
+                                        std::uint64_t run_seed) const {
   EncryptionRun run;
   sim::Pipeline pipeline(program, sim_config_);
-  energy::ProcessorEnergyModel model(params_);
+  energy::ProcessorEnergyModel model(params_, hiding_config(run_seed));
   if (stop_after_cycles == 0) {
     run.sim = pipeline.run([&](const energy::CycleActivity& activity) {
       run.trace.push(model.cycle(activity) * 1e12);  // J -> pJ
@@ -58,7 +106,11 @@ EncryptionRun MaskingPipeline::cold_des(const std::uint64_t* iv,
   des::poke_key(program, key);
   des::poke_plaintext(program, plaintext);
   if (iv != nullptr) des::poke_iv(program, *iv);
-  return simulate(program, stop_after_cycles);
+  const std::uint64_t run_seed = run_hiding_seed(plaintext);
+  if (policy_.hiding == hiding::HidingPolicy::kShuffleNop) {
+    des::poke_nop_schedule(program, shuffle_schedule(run_seed));
+  }
+  return simulate(program, stop_after_cycles, run_seed);
 }
 
 EncryptionRun MaskingPipeline::run_des(std::uint64_t key,
@@ -79,6 +131,12 @@ DesSnapshot MaskingPipeline::snapshot_des(std::uint64_t key) const {
         "snapshot_des: program declares no fork marker (generate with "
         "DesAsmOptions::hoist_key_schedule)");
   }
+  if (!policy_.fork_compatible()) {
+    throw std::logic_error(
+        "snapshot_des: " + policy_.name() +
+        " draws per-trace randomness from cycle 0, so a shared prefix would "
+        "pin every forked trace to the same stream — run cold instead");
+  }
   assembler::Program program = masked_.program;  // copy, then poke the key
   des::poke_key(program, key);
   // The plaintext placeholder stays zero: the prefix must be
@@ -86,7 +144,9 @@ DesSnapshot MaskingPipeline::snapshot_des(std::uint64_t key) const {
   // first `plain` load.
   const std::uint32_t fork_pc = *program.fork_point;
   sim::Pipeline pipeline(program, sim_config_);
-  energy::ProcessorEnergyModel model(params_);
+  // The prefix is plaintext-independent, so it cannot consume any of the
+  // per-run hiding stream; wddl's constant mode is stateless and safe.
+  energy::ProcessorEnergyModel model(params_, hiding_config(0));
   analysis::Trace prefix;
   energy::CycleActivity activity;
   bool reached = false;
@@ -142,6 +202,12 @@ EncryptionRun MaskingPipeline::forked_des(
   sim::Pipeline pipeline(snapshot.program, snapshot.machine);
   des::poke_plaintext(pipeline.memory(), snapshot.program, plaintext);
   if (iv != nullptr) des::poke_iv(pipeline.memory(), snapshot.program, *iv);
+  if (policy_.hiding == hiding::HidingPolicy::kShuffleNop) {
+    // The nop_tab slots are first read after the fork marker, so a forked
+    // run can draw the same per-plaintext schedule a cold run would.
+    des::poke_nop_schedule(pipeline.memory(), snapshot.program,
+                           shuffle_schedule(run_hiding_seed(plaintext)));
+  }
   energy::ProcessorEnergyModel model = snapshot.model;  // resume mid-trace
   run.trace = snapshot.prefix;  // splice the shared prefix in front
   if (stop_after_cycles == 0) {

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "analysis/trace.hpp"
 #include "assembler/program.hpp"
@@ -17,6 +18,7 @@
 #include "des/asm_generator.hpp"
 #include "energy/model.hpp"
 #include "energy/params.hpp"
+#include "hiding/policy.hpp"
 #include "sim/pipeline.hpp"
 
 namespace emask::core {
@@ -52,15 +54,20 @@ struct DesSnapshot {
 
 class MaskingPipeline {
  public:
-  /// Builds the DES program and applies `policy`.
+  /// Builds the DES program and applies `policy` — a masking policy, a
+  /// hiding policy, or any masking+hiding combination
+  /// (hiding::Countermeasure converts implicitly from compiler::Policy).
+  /// A shuffle_nop countermeasure forces DesAsmOptions::shuffle_slots on.
   static MaskingPipeline des(
-      compiler::Policy policy,
+      const hiding::Countermeasure& policy,
       const energy::TechParams& params = energy::TechParams::smartcard_025um(),
       const des::DesAsmOptions& asm_options = {});
 
-  /// Compiles arbitrary annotated assembly under `policy`.
+  /// Compiles arbitrary annotated assembly under `policy`.  shuffle_nop
+  /// requires the DES generator's nop_tab slots, so non-DES sources accept
+  /// only wddl / random_precharge hiding (throws std::invalid_argument).
   static MaskingPipeline from_source(
-      const std::string& source, compiler::Policy policy,
+      const std::string& source, const hiding::Countermeasure& policy,
       const energy::TechParams& params = energy::TechParams::smartcard_025um());
 
   /// Simulates one DES encryption: pokes `key`/`plaintext` into the data
@@ -93,6 +100,14 @@ class MaskingPipeline {
   /// generator emits one under DesAsmOptions::hoist_key_schedule).
   [[nodiscard]] bool has_fork_point() const {
     return masked_.program.fork_point.has_value();
+  }
+
+  /// True when snapshot/fork capture is both possible (fork marker) and
+  /// sound for this device's countermeasure: random_precharge draws its
+  /// precharge stream from cycle 0, so a shared prefix would pin every
+  /// forked trace to the same randomness — such devices must run cold.
+  [[nodiscard]] bool fork_eligible() const {
+    return has_fork_point() && policy_.fork_compatible();
   }
 
   /// Runs the shared, plaintext-independent prefix once — frame setup,
@@ -131,7 +146,12 @@ class MaskingPipeline {
   [[nodiscard]] const compiler::MaskResult& mask_result() const {
     return masked_;
   }
-  [[nodiscard]] compiler::Policy policy() const { return policy_; }
+  /// The masking half of the countermeasure (historical accessor).
+  [[nodiscard]] compiler::Policy policy() const { return policy_.masking; }
+  /// The full masking+hiding countermeasure.
+  [[nodiscard]] const hiding::Countermeasure& countermeasure() const {
+    return policy_;
+  }
   [[nodiscard]] const energy::TechParams& params() const { return params_; }
 
   /// Overrides the simulator configuration (cycle budget, memory size,
@@ -139,13 +159,34 @@ class MaskingPipeline {
   void set_sim_config(const sim::SimConfig& config) { sim_config_ = config; }
   [[nodiscard]] const sim::SimConfig& sim_config() const { return sim_config_; }
 
+  /// Base seed for per-trace hiding randomness (random_precharge stream,
+  /// shuffle_nop schedule).  Each run derives its own stream as a pure
+  /// function of (base seed, plaintext), preserving BatchRunner's
+  /// bit-identity contract at any thread count.  Campaigns set this from
+  /// the scenario seed; the default keeps standalone runs deterministic.
+  void set_hiding_seed(std::uint64_t seed) { hiding_seed_ = seed; }
+  [[nodiscard]] std::uint64_t hiding_seed() const { return hiding_seed_; }
+
+  /// The per-run hiding stream seed for `plaintext` (exposed so tests can
+  /// reproduce the schedule a run used).
+  [[nodiscard]] std::uint64_t run_hiding_seed(std::uint64_t plaintext) const;
+
+  /// The shuffle_nop delay schedule drawn for one run seed: one entry per
+  /// nop_tab slot, each uniform in [0, hiding::kShuffleNopMaxDelay].
+  [[nodiscard]] static std::vector<std::uint32_t> shuffle_schedule(
+      std::uint64_t run_seed);
+
  private:
-  MaskingPipeline(compiler::MaskResult masked, compiler::Policy policy,
+  MaskingPipeline(compiler::MaskResult masked, hiding::Countermeasure policy,
                   const energy::TechParams& params)
       : masked_(std::move(masked)), policy_(policy), params_(params) {}
 
+  [[nodiscard]] energy::HidingConfig hiding_config(
+      std::uint64_t run_seed) const;
+
   [[nodiscard]] EncryptionRun simulate(const assembler::Program& program,
-                                       std::uint64_t stop_after_cycles = 0) const;
+                                       std::uint64_t stop_after_cycles = 0,
+                                       std::uint64_t run_seed = 0) const;
 
   [[nodiscard]] EncryptionRun cold_des(const std::uint64_t* iv,
                                        std::uint64_t key,
@@ -157,9 +198,10 @@ class MaskingPipeline {
                                          std::uint64_t stop_after_cycles) const;
 
   compiler::MaskResult masked_;
-  compiler::Policy policy_;
+  hiding::Countermeasure policy_;
   energy::TechParams params_;
   sim::SimConfig sim_config_;
+  std::uint64_t hiding_seed_ = 0x9E3779B97F4A7C15ull;
 };
 
 }  // namespace emask::core

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <map>
 
+#include "des/asm_generator.hpp"
+
 namespace emask::core {
 
 std::vector<PhaseEnergy> profile_phases(const MaskingPipeline& pipeline,
@@ -78,6 +80,20 @@ SboxWindow des_round1_sbox_window(const assembler::Program& program,
                     sboxes[static_cast<std::size_t>(sbox) + 1])
               : static_cast<std::size_t>(rounds[1]);
   return w;
+}
+
+SboxWindow des_round1_sbox_window_bounds(const assembler::Program& program,
+                                         int sbox, std::uint32_t max_delay) {
+  const SboxWindow zero = des_round1_sbox_window(program, sbox);
+  if (!zero.valid() || max_delay == 0 || !des::has_nop_table(program)) {
+    return zero;
+  }
+  assembler::Program padded = program;
+  des::poke_nop_schedule(
+      padded, std::vector<std::uint32_t>(des::kShuffleSlotCount, max_delay));
+  const SboxWindow widest = des_round1_sbox_window(padded, sbox);
+  if (!widest.valid()) return SboxWindow{};
+  return SboxWindow{zero.begin, widest.end};
 }
 
 }  // namespace emask::core

@@ -50,4 +50,14 @@ struct SboxWindow {
 [[nodiscard]] SboxWindow des_round1_sbox_window(
     const assembler::Program& program, int sbox);
 
+/// Shuffle-aware variant: the widest round-1 window of S-box `sbox` over
+/// every nop_tab schedule a shuffle_slots program can draw.  `begin` comes
+/// from a zero-delay dry run (the earliest the S-box can start), `end` from
+/// a run with every slot poked to `max_delay` (the latest it can finish).
+/// For programs without a nop_tab this is exactly des_round1_sbox_window.
+/// Attacks on shuffled devices must window with these bounds — a
+/// fixed-schedule window silently truncates late-shifted traces.
+[[nodiscard]] SboxWindow des_round1_sbox_window_bounds(
+    const assembler::Program& program, int sbox, std::uint32_t max_delay);
+
 }  // namespace emask::core

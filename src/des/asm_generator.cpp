@@ -246,6 +246,7 @@ std::string generate_des_asm(std::uint64_t key, std::uint64_t plaintext,
     slots.declare("cbc_ps");  // iv base
     slots.declare("cbc_pd");  // chain destination (plain or cipher)
   }
+  if (options.shuffle_slots) slots.declare("nop_pb");  // delay table base
 
   std::ostringstream os;
   os << "# DES encryption, bit-per-word layout (generated)\n";
@@ -265,6 +266,11 @@ std::string generate_des_asm(std::uint64_t key, std::uint64_t plaintext,
   os << "sout:    .space 128\n";   // f(R,K) after P
   os << "preout:  .space 256\n";   // R16 || L16
   if (options.declassify_output) os << ".declassified preout\n";
+  if (options.shuffle_slots) {
+    // Per-trace random-delay schedule: 16 per-round + 8 per-S-box slots,
+    // zero by default (a zero schedule reproduces the unshuffled trace).
+    os << "nop_tab: .space " << kShuffleSlotCount * 4 << "\n";
+  }
   slots.emit_data(os);
   emit_offset_table(os, "ip_tab", kIp);
   emit_offset_table(os, "fp_tab", kIpInv);
@@ -333,6 +339,7 @@ std::string generate_des_asm(std::uint64_t key, std::uint64_t plaintext,
   e.spill("prel_pd", "preout", 128);
   e.spill("sh_pt", "shift_tab");
   if (hoist) e.spill("ks_pb", "subkeys");
+  if (options.shuffle_slots) e.spill("nop_pb", "nop_tab");
   if (options.cbc_chain) {
     e.spill("cbc_ps", "iv");
     e.spill("cbc_pd", options.decrypt ? "cipher" : "plain");
@@ -384,6 +391,22 @@ std::string generate_des_asm(std::uint64_t key, std::uint64_t plaintext,
     e.line("sw   $t0, " + slots.at(dst_slot));
   };
 
+  // Data-driven shuffle delay: spin nop_tab[$t9] times.  The slot value is
+  // public (the schedule hides, it is not secret), so the loop stays
+  // insecure under every masking policy; a zero slot costs a handful of
+  // data-independent cycles and keeps the unshuffled trace shape.
+  const auto emit_delay = [&](const std::string& name) {
+    e.line("sll  $t8, $t9, 2");
+    e.line("lw   $t0, " + slots.at("nop_pb"));
+    e.line("addu $t0, $t0, $t8");
+    e.line("lw   $t1, 0($t0)");  // delay count (public schedule entry)
+    e.line("beq  $t1, $zero, " + name + "_done");
+    e.label(name + "_loop");
+    e.line("addiu $t1, $t1, -1");
+    e.line("bne  $t1, $zero, " + name + "_loop");
+    e.label(name + "_done");
+  };
+
   // CBC input chaining (encryption): plain[i] ^= iv[i] before IP.  Both
   // operands are public — the iv is the previous ciphertext block — so no
   // masking policy secures the loop.  Placed after the fork marker in the
@@ -427,6 +450,12 @@ std::string generate_des_asm(std::uint64_t key, std::uint64_t plaintext,
   e.line("sw   $zero, " + slots.at("var_m"));
   e.label("round_loop");
 
+  if (options.shuffle_slots) {
+    e.comment("shuffle: random delay nop_tab[m] before the round body");
+    e.line("lw   $t9, " + slots.at("var_m"));
+    emit_delay("nop_round");
+  }
+
   if (hoist) {
     e.comment("select the precomputed round subkey: xor_pb = &subkeys[m*48]");
     emit_round_subkey_ptr("xor_pb");
@@ -461,6 +490,12 @@ std::string generate_des_asm(std::uint64_t key, std::uint64_t plaintext,
   e.comment("S-boxes: sbval[4s..4s+3] = S_s(er[6s..6s+5]); s lives in var_s");
   e.line("sw   $zero, " + slots.at("var_s"));
   e.label("sbox_loop");
+  if (options.shuffle_slots) {
+    e.comment("shuffle: random delay nop_tab[16 + s] before S-box s");
+    e.line("lw   $t9, " + slots.at("var_s"));
+    e.line("addiu $t9, $t9, 16");
+    emit_delay("nop_sbox");
+  }
   e.line("lw   $a0, " + slots.at("var_s"));
   e.line("sll  $t1, $a0, 4");      // s*16
   e.line("sll  $t2, $a0, 3");      // s*8
@@ -604,6 +639,50 @@ void poke_iv(sim::DataMemory& memory, const assembler::Program& program,
 bool has_iv_symbol(const assembler::Program& program) {
   const assembler::DataSymbol* s = program.find_symbol("iv");
   return s != nullptr && s->size_bytes >= 64 * 4;
+}
+
+namespace {
+
+const assembler::DataSymbol* nop_table_symbol(
+    const assembler::Program& program, const std::vector<std::uint32_t>& delays) {
+  if (delays.size() != kShuffleSlotCount) {
+    throw std::invalid_argument(
+        "poke_nop_schedule: expected " + std::to_string(kShuffleSlotCount) +
+        " delay slots, got " + std::to_string(delays.size()));
+  }
+  const assembler::DataSymbol* s = program.find_symbol("nop_tab");
+  if (s == nullptr || s->size_bytes < kShuffleSlotCount * 4) {
+    throw std::invalid_argument(
+        "poke_nop_schedule: program has no nop_tab symbol (generate with "
+        "shuffle_slots)");
+  }
+  return s;
+}
+
+}  // namespace
+
+void poke_nop_schedule(assembler::Program& program,
+                       const std::vector<std::uint32_t>& delays) {
+  const assembler::DataSymbol* s = nop_table_symbol(program, delays);
+  for (std::size_t i = 0; i < kShuffleSlotCount; ++i) {
+    program.poke_word(s->address + static_cast<std::uint32_t>(i) * 4,
+                      delays[i]);
+  }
+}
+
+void poke_nop_schedule(sim::DataMemory& memory,
+                       const assembler::Program& program,
+                       const std::vector<std::uint32_t>& delays) {
+  const assembler::DataSymbol* s = nop_table_symbol(program, delays);
+  for (std::size_t i = 0; i < kShuffleSlotCount; ++i) {
+    memory.store_word(s->address + static_cast<std::uint32_t>(i) * 4,
+                      delays[i]);
+  }
+}
+
+bool has_nop_table(const assembler::Program& program) {
+  const assembler::DataSymbol* s = program.find_symbol("nop_tab");
+  return s != nullptr && s->size_bytes >= kShuffleSlotCount * 4;
 }
 
 std::uint64_t read_cipher(const sim::DataMemory& memory,

@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "assembler/program.hpp"
 #include "sim/memory.hpp"
@@ -43,6 +44,17 @@ struct DesAsmOptions {
   /// generation with the rounds (Fig. 2), and the figure reproductions
   /// depend on that shape.
   bool hoist_key_schedule = false;
+  /// Random-delay (NOP-insertion) shuffle slots: the program grows a
+  /// `nop_tab` data table (kShuffleSlotCount public words, zero by
+  /// default) and data-driven delay loops that spin `nop_tab[m]` times at
+  /// the top of round m and `nop_tab[16 + s]` times before S-box s in
+  /// every round.  Poking a fresh per-trace schedule (poke_nop_schedule)
+  /// desynchronizes the cycle axis across traces without changing the
+  /// program text, the architectural result, or (for zero delays) the
+  /// trace itself.  The slots read only public data, so no masking policy
+  /// secures them.  Off by default: the classic program is byte-identical
+  /// without it.
+  bool shuffle_slots = false;
   /// CBC chaining on the device: the program grows an `iv` data symbol (64
   /// bit-words, poked per block via poke_iv).  Encryption XORs the chaining
   /// value into `plain` before the initial permutation; decryption XORs it
@@ -80,6 +92,24 @@ void poke_iv(sim::DataMemory& memory, const assembler::Program& program,
 
 /// True when the program carries the cbc_chain `iv` symbol.
 [[nodiscard]] bool has_iv_symbol(const assembler::Program& program);
+
+/// Number of shuffle delay slots in `nop_tab`: one per round (indices
+/// 0..15) plus one per S-box position (indices 16..23, applied in every
+/// round).
+inline constexpr std::size_t kShuffleSlotCount = 24;
+
+/// Replaces the `nop_tab` delay schedule (shuffle_slots programs only;
+/// throws std::invalid_argument when the program was generated without
+/// shuffle_slots or `delays` is not kShuffleSlotCount entries).  Same
+/// program-image / live-memory split as poke_plaintext.
+void poke_nop_schedule(assembler::Program& program,
+                       const std::vector<std::uint32_t>& delays);
+void poke_nop_schedule(sim::DataMemory& memory,
+                       const assembler::Program& program,
+                       const std::vector<std::uint32_t>& delays);
+
+/// True when the program carries the shuffle_slots `nop_tab` symbol.
+[[nodiscard]] bool has_nop_table(const assembler::Program& program);
 
 /// Packs the 64 bit-words of the `cipher` symbol from simulated memory.
 [[nodiscard]] std::uint64_t read_cipher(const sim::DataMemory& memory,

@@ -72,6 +72,28 @@ class MaskableBus {
     return line_energy_ * std::popcount(rising) + coupling;
   }
 
+  /// Random-precharge transfer: the bus is precharged to the random word
+  /// `rand` in the first clock phase, then evaluates `value`; every line
+  /// whose precharge and evaluation states differ switches.  For uniform
+  /// `rand`, popcount(value ^ rand) is Binomial(width, 1/2) regardless of
+  /// `value` — the per-cycle energy carries no first-order information
+  /// about the data.  History-free by construction: the next cycle
+  /// precharges again before anything is driven.
+  [[nodiscard]] double transfer_random(std::uint64_t value,
+                                       std::uint64_t rand) {
+    const std::uint64_t mask =
+        width_ >= 64 ? ~0ull : ((1ull << width_) - 1ull);
+    value &= mask;
+    rand &= mask;
+    double coupling = 0.0;
+    if (coupling_energy_ > 0.0) {
+      coupling =
+          coupling_energy_ * energy::coupling_events(rand, value, width_);
+    }
+    last_ = value;
+    return line_energy_ * std::popcount(value ^ rand) + coupling;
+  }
+
  private:
   int width_;
   double line_energy_;

@@ -14,8 +14,11 @@ std::string_view component_name(Component c) {
   return kComponentNames[static_cast<std::size_t>(c)];
 }
 
-ProcessorEnergyModel::ProcessorEnergyModel(const TechParams& params)
+ProcessorEnergyModel::ProcessorEnergyModel(const TechParams& params,
+                                           const HidingConfig& hiding)
     : params_(params),
+      hiding_(hiding),
+      rng_(hiding.seed),
       instr_bus_(33, params.line_energy(params.c_instr_bus_line),
                  params.line_energy(params.c_bus_coupling)),
       addr_bus_(32, params.line_energy(params.c_addr_bus_line),
@@ -39,6 +42,15 @@ double ProcessorEnergyModel::cycle(const CycleActivity& a) {
     breakdown_.add(c, joules);
   };
 
+  // Hiding transforms (see HidingMode): WDDL forces every structure onto
+  // its dual-rail secure path; random precharge recharges each structure
+  // to a fresh word from the per-run stream.  Words are drawn only for
+  // active structures, in the fixed order they appear below, so the
+  // stream consumption is a deterministic function of the run.
+  const bool wddl = hiding_.mode == HidingMode::kConstant;
+  const bool randomize = hiding_.mode == HidingMode::kRandomPrecharge;
+  const auto rand_word = [&] { return rng_.next_u64(); };
+
   // Clock tree and global control run every cycle.
   charge(Component::kClockTree, params_.e_clock_tree);
 
@@ -50,9 +62,11 @@ double ProcessorEnergyModel::cycle(const CycleActivity& a) {
     // a secure/normal instruction boundary toggles that line and draws
     // energy like any other — exactly the per-policy fetch difference a
     // masked program exhibits.
+    const std::uint64_t bits = a.fetch_bits & 0x1FFFFFFFFull;
     charge(Component::kInstrBus,
-                   instr_bus_.transfer(a.fetch_bits & 0x1FFFFFFFFull,
-                                       /*secure=*/false));
+           wddl        ? instr_bus_.transfer(bits, /*secure=*/true)
+           : randomize ? instr_bus_.transfer_random(bits, rand_word())
+                       : instr_bus_.transfer(bits, /*secure=*/false));
   }
 
   // ID: decoder + register-file reads (both data-independent; the register
@@ -62,26 +76,42 @@ double ProcessorEnergyModel::cycle(const CycleActivity& a) {
     charge(Component::kRegFile, params_.e_rf_read * a.rf_reads);
   }
 
-  // EX: one dynamic functional unit evaluates.
+  // EX: one dynamic functional unit evaluates.  Under WDDL every unit
+  // runs both rails (constant 32 node recharges); under random precharge
+  // an unmasked result is evaluated against a random precharge word, so
+  // the node count popcount(result ^ r) is value-independent on average.
   if (a.ex.valid) {
+    const bool ex_secure = a.ex.secure || wddl;
+    const auto unit_energy = [&](const DynamicUnit& unit) {
+      if (ex_secure) return unit.evaluate(a.ex.result, true);
+      if (randomize) {
+        return unit.evaluate(
+            a.ex.result ^ static_cast<std::uint32_t>(rand_word()), false);
+      }
+      return unit.evaluate(a.ex.result, false);
+    };
     switch (a.ex.unit) {
       case isa::FuncUnit::kAdder:
-        charge(Component::kAdder,
-                       adder_.evaluate(a.ex.result, a.ex.secure));
+        charge(Component::kAdder, unit_energy(adder_));
         break;
       case isa::FuncUnit::kLogic:
-        charge(Component::kLogicUnit,
-                       logic_.evaluate(a.ex.result, a.ex.secure));
+        charge(Component::kLogicUnit, unit_energy(logic_));
         break;
       case isa::FuncUnit::kShifter:
-        charge(Component::kShifter,
-                       shifter_.evaluate(a.ex.result, a.ex.secure));
+        charge(Component::kShifter, unit_energy(shifter_));
         break;
-      case isa::FuncUnit::kXorUnit:
+      case isa::FuncUnit::kXorUnit: {
         // Driven by the gate-level pre-charged dual-rail circuit of Fig. 5.
+        std::uint32_t xa = a.ex.a;
+        std::uint32_t xb = a.ex.b;
+        if (randomize && !ex_secure) {
+          xa ^= static_cast<std::uint32_t>(rand_word());
+          xb ^= static_cast<std::uint32_t>(rand_word());
+        }
         charge(Component::kXorUnit,
-                       xor_unit_.cycle(a.ex.a, a.ex.b, a.ex.secure).total());
+               xor_unit_.cycle(xa, xb, ex_secure).total());
         break;
+      }
       case isa::FuncUnit::kNone:
         break;
     }
@@ -92,21 +122,39 @@ double ProcessorEnergyModel::cycle(const CycleActivity& a) {
   if (a.mem.read || a.mem.write) {
     charge(Component::kMemArray,
                    a.mem.read ? params_.e_mem_read : params_.e_mem_write);
-    charge(Component::kAddrBus,
-                   addr_bus_.transfer(a.mem.address, a.mem.secure));
-    charge(Component::kDataBus,
-                   data_bus_.transfer(a.mem.data, a.mem.secure));
+    const bool mem_secure = a.mem.secure || wddl;
+    if (randomize && !mem_secure) {
+      charge(Component::kAddrBus,
+             addr_bus_.transfer_random(a.mem.address, rand_word()));
+      charge(Component::kDataBus,
+             data_bus_.transfer_random(a.mem.data, rand_word()));
+    } else {
+      charge(Component::kAddrBus,
+             addr_bus_.transfer(a.mem.address, mem_secure));
+      charge(Component::kDataBus,
+             data_bus_.transfer(a.mem.data, mem_secure));
+    }
   }
 
   // WB: register-file write (data-independent) and, for secure
   // instructions, the dummy capacitive load that terminates the
-  // complementary rail (Sec. 4.2, Fig. 3).
+  // complementary rail (Sec. 4.2, Fig. 3).  Under WDDL every retiring
+  // instruction terminates a complementary rail, so the dummy load is
+  // paid whenever the WB stage is occupied — data-independent either way.
   if (a.rf_write) charge(Component::kRegFile, params_.e_rf_write);
-  if (a.wb_secure) charge(Component::kDummyLoad, params_.e_dummy_load);
+  if (wddl ? a.mem_wb.wrote : a.wb_secure) {
+    charge(Component::kDummyLoad, params_.e_dummy_load);
+  }
 
   // Pipeline registers written at the clock edge.
   const auto latch = [&](Component c, const LatchWrite& w) {
-    if (w.wrote) charge(c, latch_.write(w.payload, w.width, w.secure));
+    if (!w.wrote) return;
+    const bool secure = w.secure || wddl;
+    if (randomize && !secure) {
+      charge(c, latch_.write(w.payload ^ rand_word(), w.width, false));
+      return;
+    }
+    charge(c, latch_.write(w.payload, w.width, secure));
   };
   latch(Component::kPipeIfId, a.if_id);
   latch(Component::kPipeIdEx, a.id_ex);

@@ -1,0 +1,101 @@
+#include "hiding/policy.hpp"
+
+#include <stdexcept>
+
+namespace emask::hiding {
+namespace {
+
+template <typename T, std::size_t N>
+const T* find_by_name(const std::array<PolicyName<T>, N>& table,
+                      std::string_view name) {
+  for (const PolicyName<T>& entry : table) {
+    if (entry.name == name) return &entry.value;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+const std::array<PolicyName<compiler::Policy>, 4>& masking_names() {
+  static const std::array<PolicyName<compiler::Policy>, 4> table = {{
+      {compiler::Policy::kOriginal,
+       compiler::policy_name(compiler::Policy::kOriginal)},
+      {compiler::Policy::kSelective,
+       compiler::policy_name(compiler::Policy::kSelective)},
+      {compiler::Policy::kNaiveLoadStore,
+       compiler::policy_name(compiler::Policy::kNaiveLoadStore)},
+      {compiler::Policy::kAllSecure,
+       compiler::policy_name(compiler::Policy::kAllSecure)},
+  }};
+  return table;
+}
+
+const std::array<PolicyName<HidingPolicy>, 3>& hiding_names() {
+  static const std::array<PolicyName<HidingPolicy>, 3> table = {{
+      {HidingPolicy::kWddl, "wddl"},
+      {HidingPolicy::kRandomPrecharge, "random_precharge"},
+      {HidingPolicy::kShuffleNop, "shuffle_nop"},
+  }};
+  return table;
+}
+
+std::string_view hiding_name(HidingPolicy h) {
+  for (const auto& entry : hiding_names()) {
+    if (entry.value == h) return entry.name;
+  }
+  return "none";
+}
+
+std::string Countermeasure::name() const {
+  if (hiding == HidingPolicy::kNone) {
+    return std::string(compiler::policy_name(masking));
+  }
+  if (masking == compiler::Policy::kOriginal) {
+    return std::string(hiding_name(hiding));
+  }
+  return std::string(compiler::policy_name(masking)) + "+" +
+         std::string(hiding_name(hiding));
+}
+
+std::string countermeasure_axis_values() {
+  std::string values;
+  for (const auto& entry : masking_names()) {
+    if (!values.empty()) values += "|";
+    values += entry.name;
+  }
+  for (const auto& entry : hiding_names()) {
+    values += "|";
+    values += entry.name;
+  }
+  return values;
+}
+
+Countermeasure countermeasure_from_name(std::string_view name) {
+  const auto fail = [&]() -> std::invalid_argument {
+    return std::invalid_argument(
+        "unknown policy '" + std::string(name) + "' (expected " +
+        countermeasure_axis_values() +
+        ", or a masking+hiding pair like selective+wddl)");
+  };
+  const std::size_t plus = name.find('+');
+  if (plus == std::string_view::npos) {
+    if (const compiler::Policy* m = find_by_name(masking_names(), name)) {
+      return Countermeasure(*m);
+    }
+    if (const HidingPolicy* h = find_by_name(hiding_names(), name)) {
+      return Countermeasure(compiler::Policy::kOriginal, *h);
+    }
+    throw fail();
+  }
+  const std::string_view masking_part = name.substr(0, plus);
+  const std::string_view hiding_part = name.substr(plus + 1);
+  const compiler::Policy* m = find_by_name(masking_names(), masking_part);
+  const HidingPolicy* h = find_by_name(hiding_names(), hiding_part);
+  if (m == nullptr || h == nullptr || hiding_part.find('+') !=
+      std::string_view::npos) {
+    throw fail();
+  }
+  return Countermeasure(*m, *h);
+}
+
+}  // namespace emask::hiding

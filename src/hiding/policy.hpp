@@ -1,0 +1,114 @@
+// Countermeasure policies: masking x hiding combinations.
+//
+// The paper's four policies (compiler::Policy) all *mask*: secure
+// instructions run on dual-rail hardware so their energy is data-
+// independent.  The other half of the countermeasure design space *hides*:
+// it leaves the computation alone and makes the measurement useless.  This
+// module models three hiding policies as first-class citizens alongside
+// the masking ones, composable with any of them:
+//
+//   * wddl             — wave dynamic differential logic (Tiri &
+//                        Verbauwhede): every bus, latch and functional unit
+//                        precharges and then evaluates complementary rails
+//                        each cycle, whether or not the instruction is
+//                        secure.  Per-cycle energy is constant in the data;
+//                        only the adjacent-line coupling residue survives.
+//   * random_precharge — buses/latches/units precharge to *random* values
+//                        drawn from a deterministic per-trace util::Rng
+//                        stream, so the Hamming distance any one cycle
+//                        leaks is against a word the attacker cannot know.
+//                        First-order averaging destroys the correlation.
+//   * shuffle_nop      — random NOP-delay insertion in the generated DES
+//                        program (data-driven delay loops, deterministic
+//                        per-trace schedule) desynchronizes the attack
+//                        window: cycle c no longer lines up with the same
+//                        operation across traces.
+//
+// A Countermeasure is a (masking, hiding) pair named "masking+hiding"
+// ("selective+wddl"); bare masking names ("selective") and bare hiding
+// names ("wddl" == "original+wddl") keep their short spellings.  The name
+// tables below are the single source of truth for the campaign policy
+// axis, spec validation and error messages.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "compiler/masking.hpp"
+
+namespace emask::hiding {
+
+enum class HidingPolicy {
+  kNone,
+  kWddl,
+  kRandomPrecharge,
+  kShuffleNop,
+};
+
+/// Name table entry; mirrors campaign's AxisName<T> shape.
+template <typename T>
+struct PolicyName {
+  T value;
+  std::string_view name;
+};
+
+/// All masking policies, in compiler::Policy order (the paper's Table-1
+/// order: baseline first).
+[[nodiscard]] const std::array<PolicyName<compiler::Policy>, 4>&
+masking_names();
+
+/// All hiding policies *except* kNone (which has no spelled name: the
+/// absence of a "+hiding" suffix means none).
+[[nodiscard]] const std::array<PolicyName<HidingPolicy>, 3>& hiding_names();
+
+[[nodiscard]] std::string_view hiding_name(HidingPolicy h);
+
+/// Upper bound on the per-slot delay-loop iteration count drawn by the
+/// shuffle_nop schedule (each iteration is a 2-instruction loop body, so
+/// one slot inserts up to ~3x this many cycles).
+inline constexpr std::uint32_t kShuffleNopMaxDelay = 12;
+
+/// A composed countermeasure: which instructions are masked (dual-rail
+/// secure versions) and which hiding transform wraps the whole run.
+struct Countermeasure {
+  compiler::Policy masking = compiler::Policy::kOriginal;
+  HidingPolicy hiding = HidingPolicy::kNone;
+
+  Countermeasure() = default;
+  // Implicit by design: every pre-existing call site that speaks plain
+  // compiler::Policy means "that masking, no hiding".
+  Countermeasure(compiler::Policy m) : masking(m) {}  // NOLINT
+  Countermeasure(compiler::Policy m, HidingPolicy h) : masking(m), hiding(h) {}
+
+  /// Canonical axis name: "selective", "wddl" (== original+wddl),
+  /// "selective+wddl".
+  [[nodiscard]] std::string name() const;
+
+  /// Snapshot/fork eligibility: random_precharge consumes a per-trace
+  /// RNG stream from cycle 0, so a shared prefix captured once would pin
+  /// every forked trace to the same precharge values — both wrong (the
+  /// hiding would silently vanish) and non-identical to a cold start.
+  [[nodiscard]] bool fork_compatible() const {
+    return hiding != HidingPolicy::kRandomPrecharge;
+  }
+
+  friend bool operator==(const Countermeasure& a, const Countermeasure& b) {
+    return a.masking == b.masking && a.hiding == b.hiding;
+  }
+  friend bool operator!=(const Countermeasure& a, const Countermeasure& b) {
+    return !(a == b);
+  }
+};
+
+/// Parses "masking", "hiding", or "masking+hiding".  Throws
+/// std::invalid_argument naming the accepted spellings (campaign wraps it
+/// into a SpecError).
+[[nodiscard]] Countermeasure countermeasure_from_name(std::string_view name);
+
+/// "original|selective|...|wddl|..." — the accepted single-token
+/// spellings, for error messages.
+[[nodiscard]] std::string countermeasure_axis_values();
+
+}  // namespace emask::hiding

@@ -165,8 +165,7 @@ void rollup_section(std::ostringstream& out, const Model& m) {
   }
   out << "</tr>\n";
   for (const PolicyRow& r : m.rollup) {
-    out << "<tr><td class=\"l\">"
-        << esc(std::string(compiler::policy_name(r.policy))) << "</td><td>"
+    out << "<tr><td class=\"l\">" << esc(r.policy.name()) << "</td><td>"
         << r.scenarios << "</td><td>" << num_or_na(r.mean_uj) << "</td><td>"
         << num_or_na(r.ratio) << "</td>";
     if (any_reference) {
@@ -185,7 +184,7 @@ void rollup_section(std::ostringstream& out, const Model& m) {
   BarChartSpec chart;
   chart.y_label = "uJ per encryption";
   for (const PolicyRow& r : m.rollup) {
-    chart.groups.push_back(std::string(compiler::policy_name(r.policy)));
+    chart.groups.push_back(r.policy.name());
   }
   if (any_reference) {
     chart.title = "Energy per policy: measured (paper-normalized) vs. paper";
@@ -289,7 +288,7 @@ void sweep_section(std::ostringstream& out, const Model& m) {
       if (kind == campaign::Analysis::kTvla) spec.hlines = {4.5};
       for (const PolicyRow& p : m.rollup) {
         LineSeries series;
-        series.label = std::string(compiler::policy_name(p.policy));
+        series.label = p.policy.name();
         std::vector<std::pair<double, double>> points;
         for (const ScenarioEntry& e : m.scenarios) {
           if (e.scenario.analysis != kind ||
@@ -367,10 +366,8 @@ void disclosure_section(std::ostringstream& out, const Model& m) {
         }
       }
       LineSeries series;
-      series.label =
-          same_policy == 1
-              ? std::string(compiler::policy_name(r.entry->scenario.policy))
-              : r.entry->scenario.id;
+      series.label = same_policy == 1 ? r.entry->scenario.policy.name()
+                                      : r.entry->scenario.id;
       series.xs = r.points.traces;
       series.ys = r.points.ranks;
       spec.series.push_back(std::move(series));
@@ -385,14 +382,119 @@ void disclosure_section(std::ostringstream& out, const Model& m) {
     const campaign::Scenario& s = r.entry->scenario;
     const double disclosed = disclosure_traces(r.points);
     out << "<tr><td class=\"l\"><code>" << esc(s.id) << "</code></td>"
-        << "<td class=\"l\">"
-        << esc(std::string(compiler::policy_name(s.policy))) << "</td>"
+        << "<td class=\"l\">" << esc(s.policy.name()) << "</td>"
         << "<td class=\"l\">"
         << esc(std::string(campaign::analysis_name(s.analysis))) << "</td>"
         << "<td>" << s.traces << "</td><td>"
         << (disclosed > 0.0 ? num_or_na(disclosed)
                             : std::string("not disclosed"))
         << "</td><td>" << num_or_na(r.points.ranks.back()) << "</td></tr>\n";
+  }
+  out << "</table>\n";
+}
+
+/// Countermeasure Pareto frontier: per-policy mean energy against the
+/// attacker's best traces-to-disclosure across that policy's key-ranking
+/// attack scenarios.  A policy whose attacks all ran dry is censored at
+/// its largest trace budget (hollow marker, "> N" label).  Emitted only
+/// when at least one policy has both an energy figure and a disclosure
+/// curve, so legacy campaigns render byte-identically.
+void pareto_section(std::ostringstream& out, const Model& m) {
+  struct Candidate {
+    std::string name;
+    double energy = std::nan("");
+    double disclosed_at = 0.0;  // min over attacks; 0 = never disclosed
+    double budget = 0.0;        // largest attack trace budget (censor point)
+    bool has_attack = false;
+  };
+  std::vector<Candidate> cands;
+  for (const PolicyRow& r : m.rollup) {
+    Candidate c;
+    c.name = r.policy.name();
+    // Paper-normalized energy when the campaign carries a reference scale,
+    // raw measured uJ otherwise — the same choice the roll-up chart makes.
+    c.energy = std::isfinite(r.normalized_uj) ? r.normalized_uj : r.mean_uj;
+    for (const ScenarioEntry& e : m.scenarios) {
+      if (!(e.scenario.policy == r.policy) || !e.disclosure_present) continue;
+      const DisclosurePoints p =
+          true_guess_ranks(e.disclosure, e.result.true_value);
+      if (p.traces.empty()) continue;
+      c.has_attack = true;
+      c.budget = std::max(c.budget, static_cast<double>(e.scenario.traces));
+      const double d = disclosure_traces(p);
+      if (d > 0.0 && (c.disclosed_at == 0.0 || d < c.disclosed_at)) {
+        c.disclosed_at = d;
+      }
+    }
+    if (c.has_attack && std::isfinite(c.energy) && c.energy > 0.0) {
+      cands.push_back(std::move(c));
+    }
+  }
+  if (cands.empty()) return;
+
+  ScatterChartSpec spec;
+  spec.title = "Countermeasure Pareto: energy vs. traces to disclosure";
+  spec.x_label = "uJ per encryption";
+  spec.y_label = "traces to disclosure";
+  for (const Candidate& c : cands) {
+    ScatterPoint p;
+    p.x = c.energy;
+    const bool censored = c.disclosed_at == 0.0;
+    p.y = censored ? c.budget : c.disclosed_at;
+    p.open = censored;
+    p.label = censored ? c.name + " (> " + num_or_na(c.budget) + ")" : c.name;
+    spec.points.push_back(std::move(p));
+  }
+  // Paper reference energies as dashed vertical lines, on the same scale
+  // as the normalized measurements.
+  for (const PolicyRow& r : m.rollup) {
+    if (!r.has_reference) continue;
+    spec.vlines.push_back(r.paper_uj);
+    spec.vline_labels.push_back(r.policy.name() + " (paper)");
+  }
+  // Pareto set: cheapest-first sweep keeping points that strictly raise the
+  // attacker's cost.  A censored point counts at its budget — it resisted
+  // at least that long.
+  std::vector<std::size_t> order(spec.points.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     if (spec.points[a].x != spec.points[b].x) {
+                       return spec.points[a].x < spec.points[b].x;
+                     }
+                     return spec.points[a].y > spec.points[b].y;
+                   });
+  double best_y = -1.0;
+  for (const std::size_t idx : order) {
+    if (spec.points[idx].y > best_y) {
+      best_y = spec.points[idx].y;
+      spec.frontier.push_back(idx);
+    }
+  }
+
+  out << "<h2>Countermeasure Pareto frontier</h2>\n"
+      << "<p>Each point is one countermeasure: x is its mean energy per "
+         "encryption, y the fewest traces any key-ranking attack in this "
+         "campaign needed to disclose the subkey.  Hollow markers never "
+         "disclosed within their trace budget and are plotted at that "
+         "budget as a lower bound.  The dashed line joins the Pareto set "
+         "(no other policy is both cheaper and harder to break); vertical "
+         "lines mark the paper's reference energies.</p>\n";
+  out << scatter_chart(spec) << "\n";
+
+  out << "<table>\n<tr><th class=\"l\">policy</th><th>uJ/enc</th>"
+         "<th>traces to disclosure</th><th>frontier</th></tr>\n";
+  for (std::size_t i = 0; i < cands.size(); ++i) {
+    const Candidate& c = cands[i];
+    const bool on_frontier =
+        std::find(spec.frontier.begin(), spec.frontier.end(), i) !=
+        spec.frontier.end();
+    out << "<tr><td class=\"l\">" << esc(c.name) << "</td><td>"
+        << num_or_na(c.energy) << "</td><td>"
+        << (c.disclosed_at > 0.0
+                ? num_or_na(c.disclosed_at)
+                : "&gt; " + num_or_na(c.budget) + " (not disclosed)")
+        << "</td><td>" << (on_frontier ? "yes" : "") << "</td></tr>\n";
   }
   out << "</table>\n";
 }
@@ -571,7 +673,7 @@ void scenario_section(std::ostringstream& out, const ScenarioEntry& e) {
         << "</td></tr>\n";
   };
   prow("cipher", std::string(campaign::cipher_name(s.cipher)));
-  prow("policy", std::string(compiler::policy_name(s.policy)));
+  prow("policy", s.policy.name());
   prow("analysis", std::string(campaign::analysis_name(s.analysis)));
   prow("noise sigma (pJ)", num_or_na(s.noise_sigma_pj));
   prow("traces", std::to_string(s.traces));
@@ -631,6 +733,7 @@ std::string render(const Model& model, const RenderOptions& options) {
   status_section(out, model);
   sweep_section(out, model);
   disclosure_section(out, model);
+  pareto_section(out, model);
   session_section(out, model);
 
   if (!model.scenarios.empty()) {

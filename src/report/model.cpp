@@ -192,7 +192,7 @@ Model Model::from_manifest(const std::string& manifest_text,
   } else {
     for (const ScenarioEntry& e : model.scenarios) {
       bool seen = false;
-      for (const compiler::Policy p : pseudo.policies) {
+      for (const hiding::Countermeasure& p : pseudo.policies) {
         if (p == e.scenario.policy) seen = true;
       }
       if (!seen) pseudo.policies.push_back(e.scenario.policy);
@@ -225,10 +225,15 @@ Model Model::from_manifest(const std::string& manifest_text,
     if (const double* ref = campaign::find_reference(pseudo, r.policy)) {
       row.has_reference = true;
       row.paper_uj = *ref;
-      if (ref_baseline != nullptr && *ref_baseline > 0.0) {
-        row.paper_ratio = *ref / *ref_baseline;
-        row.normalized_uj = row.ratio * *ref_baseline;
-      }
+    }
+    // Paper-normalized energy is a projection of the *measured* ratio onto
+    // the paper's absolute scale — it exists whenever the baseline policy
+    // has a reference, even for policies (the hiding countermeasures) the
+    // paper itself never measured.  Without it such rows would render 0/NaN
+    // bars next to real measurements.
+    if (ref_baseline != nullptr && *ref_baseline > 0.0) {
+      if (row.has_reference) row.paper_ratio = row.paper_uj / *ref_baseline;
+      row.normalized_uj = row.ratio * *ref_baseline;
     }
     model.rollup.push_back(row);
   }

@@ -66,7 +66,7 @@ struct ScenarioEntry {
 /// One roll-up row: recomputed measurement plus the manifest's paper
 /// reference when the campaign carried one.
 struct PolicyRow {
-  compiler::Policy policy = compiler::Policy::kOriginal;
+  hiding::Countermeasure policy;
   std::size_t scenarios = 0;
   double mean_uj = 0.0;
   // Derived values are NaN ("n/a" in the report) until computed — never a

@@ -330,6 +330,97 @@ std::string line_chart(const LineChartSpec& spec) {
   return out.str();
 }
 
+std::string scatter_chart(const ScatterChartSpec& spec) {
+  std::ostringstream out;
+  open_svg(out, spec.width, spec.height);
+  title_text(out, spec.title, spec.width);
+
+  Range xr;
+  Range yr;
+  for (const ScatterPoint& p : spec.points) {
+    if (!std::isfinite(p.x) || !std::isfinite(p.y)) continue;
+    xr.include(p.x);
+    yr.include(p.y);
+  }
+  for (const double v : spec.vlines) xr.include(v);
+  yr.include(0.0);
+  const Axis x_axis = make_axis(xr.lo, xr.hi, 6);
+  const Axis axis = make_axis(std::min(yr.lo, 0.0), yr.hi, 5);
+
+  const Plot plot{56.0, 26.0, spec.width - 16.0, spec.height - 42.0};
+  y_axis(out, plot, axis, spec.y_label);
+
+  const int xticks =
+      static_cast<int>(std::llround((x_axis.hi - x_axis.lo) / x_axis.step));
+  for (int i = 0; i <= xticks; ++i) {
+    const double v = x_axis.lo + x_axis.step * i;
+    const double x = plot.map_x(v, x_axis);
+    out << "<line x1=\"" << svg_num(x) << "\" y1=\"" << svg_num(plot.y1)
+        << "\" x2=\"" << svg_num(x) << "\" y2=\"" << svg_num(plot.y1 + 4)
+        << "\" stroke=\"" << kAxisColor << "\" stroke-width=\"1\"/>\n";
+    out << "<text x=\"" << svg_num(x) << "\" y=\"" << svg_num(plot.y1 + 15)
+        << "\" text-anchor=\"middle\" font-size=\"10\" " << kFont << ">"
+        << svg_label_num(v) << "</text>\n";
+  }
+  if (!spec.x_label.empty()) {
+    out << "<text x=\"" << svg_num((plot.x0 + plot.x1) / 2.0) << "\" y=\""
+        << svg_num(plot.y1 + 28) << "\" text-anchor=\"middle\" "
+        << "font-size=\"11\" " << kFont << ">" << xml_escape(spec.x_label)
+        << "</text>\n";
+  }
+
+  for (std::size_t i = 0; i < spec.vlines.size(); ++i) {
+    const double v = spec.vlines[i];
+    if (!std::isfinite(v) || v < x_axis.lo || v > x_axis.hi) continue;
+    const double x = plot.map_x(v, x_axis);
+    out << "<line x1=\"" << svg_num(x) << "\" y1=\"" << svg_num(plot.y0)
+        << "\" x2=\"" << svg_num(x) << "\" y2=\"" << svg_num(plot.y1)
+        << "\" stroke=\"" << kMissColor
+        << "\" stroke-width=\"1\" stroke-dasharray=\"4 3\"/>\n";
+    const std::string label = i < spec.vline_labels.size()
+                                  ? spec.vline_labels[i]
+                                  : svg_label_num(v);
+    out << "<text x=\"" << svg_num(x + 3) << "\" y=\""
+        << svg_num(plot.y0 + 9) << "\" font-size=\"9\" fill=\"#888888\" "
+        << "font-family=\"sans-serif\">" << xml_escape(label) << "</text>\n";
+  }
+
+  // Frontier polyline under the markers.
+  std::string points;
+  for (const std::size_t idx : spec.frontier) {
+    if (idx >= spec.points.size()) continue;
+    const ScatterPoint& p = spec.points[idx];
+    if (!std::isfinite(p.x) || !std::isfinite(p.y)) continue;
+    if (!points.empty()) points += ' ';
+    points += svg_num(plot.map_x(p.x, x_axis));
+    points += ',';
+    points += svg_num(plot.map_y(p.y, axis));
+  }
+  if (!points.empty()) {
+    out << "<polyline fill=\"none\" stroke=\"" << kPalette[0]
+        << "\" stroke-width=\"1.5\" stroke-dasharray=\"5 3\" points=\""
+        << points << "\"/>\n";
+  }
+
+  for (std::size_t i = 0; i < spec.points.size(); ++i) {
+    const ScatterPoint& p = spec.points[i];
+    if (!std::isfinite(p.x) || !std::isfinite(p.y)) continue;
+    const double x = plot.map_x(p.x, x_axis);
+    const double y = plot.map_y(p.y, axis);
+    out << "<circle cx=\"" << svg_num(x) << "\" cy=\"" << svg_num(y)
+        << "\" r=\"5\" fill=\"" << (p.open ? "#ffffff" : series_color(i))
+        << "\" stroke=\"" << series_color(i) << "\" stroke-width=\"2\">"
+        << "<title>" << xml_escape(p.label) << ": (" << svg_label_num(p.x)
+        << ", " << svg_label_num(p.y) << ")</title></circle>\n";
+    out << "<text x=\"" << svg_num(x + 8) << "\" y=\"" << svg_num(y - 6)
+        << "\" font-size=\"10\" " << kFont << ">" << xml_escape(p.label)
+        << "</text>\n";
+  }
+
+  out << "</svg>";
+  return out.str();
+}
+
 std::string status_grid(const std::vector<GridCell>& cells, int columns) {
   if (columns < 1) columns = 1;
   constexpr int kCell = 18;

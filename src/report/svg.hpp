@@ -63,6 +63,34 @@ struct LineChartSpec {
 
 [[nodiscard]] std::string line_chart(const LineChartSpec& spec);
 
+/// One labelled point of a scatter/Pareto chart.  `open` draws a hollow
+/// marker — the report uses it for censored values (an attack that never
+/// disclosed the key within the trace budget).
+struct ScatterPoint {
+  std::string label;
+  double x = 0.0;
+  double y = 0.0;
+  bool open = false;
+};
+
+struct ScatterChartSpec {
+  std::string title;
+  std::string x_label;
+  std::string y_label;
+  std::vector<ScatterPoint> points;  // NaN/Inf points are skipped
+  /// Indices into `points` to join with a dashed frontier polyline, in
+  /// drawing order (the caller computes the Pareto set deterministically).
+  std::vector<std::size_t> frontier;
+  /// Dashed vertical reference lines with labels (e.g. the paper's
+  /// per-policy energy numbers on an energy x-axis).
+  std::vector<double> vlines;
+  std::vector<std::string> vline_labels;  // parallel to vlines; may be short
+  int width = 720;
+  int height = 340;
+};
+
+[[nodiscard]] std::string scatter_chart(const ScatterChartSpec& spec);
+
 enum class CellState { kOk, kFailed, kNoArtifact };
 
 struct GridCell {

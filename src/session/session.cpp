@@ -136,12 +136,11 @@ void SessionEngine::build_devices(bool decrypt) {
   };
   if (config_.cipher == SessionCipher::kDesCbc) {
     devs.push_back(make(decrypt, /*chained=*/true));
-    return;
   }
   // 3DES-EDE outer CBC.  Encrypt: chained E(k1), D(k2), E(k3).  Decrypt:
   // D(k3), E(k2), chained D(k1) — the chaining XOR lands on the plaintext
   // side in both directions.
-  if (!decrypt) {
+  else if (!decrypt) {
     devs.push_back(make(false, true));
     devs.push_back(make(true, false));
     devs.push_back(make(false, false));
@@ -149,6 +148,10 @@ void SessionEngine::build_devices(bool decrypt) {
     devs.push_back(make(true, false));
     devs.push_back(make(false, false));
     devs.push_back(make(true, true));
+  }
+  for (std::size_t i = 0; i < devs.size(); ++i) {
+    devs[i].set_hiding_seed(config_.hiding_seed +
+                            0x9E3779B97F4A7C15ull * (i + 1));
   }
 }
 
@@ -280,8 +283,10 @@ SessionResult SessionEngine::run(const std::vector<std::uint64_t>& blocks,
         });
     // Amortization math is snapshot-mode independent: the prefix length is
     // a property of the program, reused from the runner's snapshot when it
-    // took one and measured once otherwise.
-    if (devs[s].has_fork_point()) {
+    // took one and measured once otherwise.  Non-fork-eligible devices
+    // (random_precharge) have no shareable prefix — every block pays the
+    // schedule, so no prefix cycles are credited.
+    if (devs[s].fork_eligible()) {
       const std::uint64_t pc =
           runner.stats().snapshot_prefix_cycles != 0
               ? runner.stats().snapshot_prefix_cycles

@@ -41,6 +41,7 @@
 #include "core/batch_runner.hpp"
 #include "core/masking_pipeline.hpp"
 #include "energy/params.hpp"
+#include "hiding/policy.hpp"
 
 namespace emask::session {
 
@@ -107,7 +108,11 @@ struct SessionConfig {
   SessionCipher cipher = SessionCipher::kDesCbc;
   SessionKeys keys;
   std::uint64_t iv = 0;
-  compiler::Policy policy = compiler::Policy::kSelective;
+  /// Masking and/or hiding countermeasure for every stage device (converts
+  /// implicitly from a bare compiler::Policy).  A non-fork-compatible
+  /// hiding policy (random_precharge) silently disables the shared-prefix
+  /// amortization — every block runs cold — under SnapshotMode::kAuto.
+  hiding::Countermeasure policy = compiler::Policy::kSelective;
   energy::TechParams params = energy::TechParams::smartcard_025um();
   /// Worker threads for block capture (0 = hardware concurrency).  Any
   /// value produces bit-identical results.
@@ -130,6 +135,9 @@ struct SessionConfig {
   /// once per session.  Off reproduces the paper's per-block in-round
   /// schedule (no fork point, every block cold).
   bool hoist_key_schedule = true;
+  /// Base seed for per-trace hiding randomness; each stage device gets a
+  /// distinct derived seed (still a pure function of this value).
+  std::uint64_t hiding_seed = 0x9E3779B97F4A7C15ull;
 };
 
 /// Per-block view delivered to the capture sink, in strict block order.

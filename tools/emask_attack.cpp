@@ -41,10 +41,11 @@ int main(int argc, char** argv) {
   parser.opt_choice("attack", &attack,
                     {"dpa", "cpa", "mlpa", "collision", "tvla", "localize"},
                     "attack type (default cpa)");
-  parser.opt_choice("policy", &policy_name,
-                    {"original", "selective", "naive_loadstore",
-                     "all_secure"},
-                    "device protection (default original)");
+  parser.opt_string("policy", &policy_name, "NAME",
+                    "device countermeasure (default original): masking "
+                    "(original, selective, naive_loadstore, all_secure), "
+                    "hiding (wddl, random_precharge, shuffle_nop), or "
+                    "masking+hiding");
   parser.opt_int("traces", &traces, "trace budget (default 400)");
   parser.opt_int("sbox", &sbox, "target round-1 S-box, 1..8 (default 1)");
   parser.opt_int("bit", &bit, "DPA target output bit, 0..3 (default 0)");
@@ -69,7 +70,7 @@ int main(int argc, char** argv) {
   }
 
   try {
-    const compiler::Policy policy = tools::to_policy(policy_name);
+    const hiding::Countermeasure policy = tools::to_countermeasure(policy_name);
     const energy::TechParams params = tools::tech_params(coupling_ff);
     const auto device = core::MaskingPipeline::des(policy, params);
     analysis::NoiseModel noise(noise_pj, 0xC0FFEE);
@@ -86,7 +87,7 @@ int main(int argc, char** argv) {
                   from_path.c_str());
     } else {
       std::printf("device   : %s policy, %s coupling, noise sigma %.1f pJ\n",
-                  compiler::policy_name(policy).data(),
+                  policy.name().c_str(),
                   coupling_ff > 0 ? "with" : "no", noise_pj);
       std::printf("capturing %d round-1 traces...\n", traces);
     }
@@ -207,6 +208,9 @@ int main(int argc, char** argv) {
                 r.max_abs_t, r.worst_cycle, r.cycles_over_threshold,
                 r.leaks() ? "LEAKS" : "passes");
     return r.leaks() ? 3 : 0;
+  } catch (const util::ArgError& e) {
+    std::fprintf(stderr, "%s\n%s", e.what(), parser.usage().c_str());
+    return 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "emask-attack: %s\n", e.what());
     return 2;

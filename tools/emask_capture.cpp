@@ -22,10 +22,10 @@ int main(int argc, char** argv) {
   util::ArgParser parser("emask-capture", "--out=FILE [options]");
   parser.opt_string("out", &out_path, "FILE", "EMTS output path (required)");
   parser.opt_size("traces", &traces, "trace count (default 400)");
-  parser.opt_choice("policy", &policy_name,
-                    {"original", "selective", "naive_loadstore",
-                     "all_secure"},
-                    "device protection policy");
+  parser.opt_string("policy", &policy_name, "NAME",
+                    "device countermeasure: masking (original, selective, "
+                    "naive_loadstore, all_secure), hiding (wddl, "
+                    "random_precharge, shuffle_nop), or masking+hiding");
   parser.opt_hex("key", &key, "the card's secret key");
   parser.opt_u64("window-end", &window_end,
                  "truncate each encryption after N cycles");
@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
   }
 
   try {
-    const compiler::Policy policy = tools::to_policy(policy_name);
+    const hiding::Countermeasure policy = tools::to_countermeasure(policy_name);
     const auto device =
         core::MaskingPipeline::des(policy, tools::tech_params(coupling_ff));
     // Parallel capture streamed straight to disk: the plaintext for trace i
@@ -77,6 +77,9 @@ int main(int argc, char** argv) {
         stats.encryptions_per_sec(), stats.cycles_per_sec() / 1e3,
         stats.total_energy_uj);
     return 0;
+  } catch (const util::ArgError& e) {
+    std::fprintf(stderr, "%s\n%s", e.what(), parser.usage().c_str());
+    return 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "emask-capture: %s\n", e.what());
     return 2;

@@ -28,10 +28,10 @@ int main(int argc, char** argv) {
   parser.flag("decrypt", &decrypt, "generate/run the decryption direction");
   parser.opt_hex("key", &key, "the card's key");
   parser.opt_hex("block", &block, "the 64-bit input block");
-  parser.opt_choice("policy", &policy_name,
-                    {"original", "selective", "naive_loadstore",
-                     "all_secure"},
-                    "device protection policy");
+  parser.opt_string("policy", &policy_name, "NAME",
+                    "device countermeasure: masking (original, selective, "
+                    "naive_loadstore, all_secure), hiding (wddl, "
+                    "random_precharge, shuffle_nop), or masking+hiding");
   const int parsed = tools::parse_or_usage(parser, argc, argv);
   if (parsed != 0) return parsed > 0 ? 1 : 0;
 
@@ -56,7 +56,7 @@ int main(int argc, char** argv) {
   }
 
   try {
-    const compiler::Policy policy = tools::to_policy(policy_name);
+    const hiding::Countermeasure policy = tools::to_countermeasure(policy_name);
     const auto pipeline = core::MaskingPipeline::des(
         policy, energy::TechParams::smartcard_025um(), options);
     const core::EncryptionRun run = pipeline.run_des(key, block);
@@ -72,10 +72,13 @@ int main(int argc, char** argv) {
                 golden == run.cipher ? "match" : "MISMATCH");
     std::printf("policy  : %s — %zu secured instructions, %.2f uJ, %llu "
                 "cycles\n",
-                compiler::policy_name(policy).data(),
+                policy.name().c_str(),
                 pipeline.mask_result().secured_count, run.total_uj(),
                 static_cast<unsigned long long>(run.sim.cycles));
     return golden == run.cipher ? 0 : 2;
+  } catch (const util::ArgError& e) {
+    std::fprintf(stderr, "%s\n%s", e.what(), parser.usage().c_str());
+    return 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "emask-des: %s\n", e.what());
     return 2;

@@ -29,10 +29,11 @@ int main(int argc, char** argv) {
   util::ArgParser parser("emask-run", "program.s [options]");
   parser.positional("program.s", &source_path, true,
                     "annotated assembly source");
-  parser.opt_choice("policy", &policy_name,
-                    {"original", "selective", "naive_loadstore",
-                     "all_secure"},
-                    "protection policy (default selective)");
+  parser.opt_string("policy", &policy_name, "NAME",
+                    "countermeasure (default selective): masking (original, "
+                    "selective, naive_loadstore, all_secure), hiding (wddl, "
+                    "random_precharge), or masking+hiding; shuffle_nop needs "
+                    "the DES generator's delay slots and is rejected here");
   parser.opt_string("trace", &trace_path, "FILE",
                     "write the per-cycle energy trace CSV");
   parser.flag("listing", &listing,
@@ -56,13 +57,13 @@ int main(int argc, char** argv) {
   buffer << in.rdbuf();
 
   try {
-    const compiler::Policy policy = tools::to_policy(policy_name);
+    const hiding::Countermeasure policy = tools::to_countermeasure(policy_name);
     const energy::TechParams params = tools::tech_params(coupling_ff);
     const auto pipeline =
         core::MaskingPipeline::from_source(buffer.str(), policy, params);
 
     const auto& mr = pipeline.mask_result();
-    std::printf("policy    : %s\n", compiler::policy_name(policy).data());
+    std::printf("policy    : %s\n", policy.name().c_str());
     std::printf("program   : %zu instructions, %zu secured\n",
                 pipeline.program().text.size(), mr.secured_count);
     for (const auto& d : mr.slice.diagnostics) {
@@ -127,6 +128,9 @@ int main(int argc, char** argv) {
       std::printf("trace     : %s (%zu samples)\n", trace_path.c_str(),
                   trace.size());
     }
+  } catch (const util::ArgError& e) {
+    std::fprintf(stderr, "%s\n%s", e.what(), parser.usage().c_str());
+    return 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "emask-run: %s\n", e.what());
     return 2;

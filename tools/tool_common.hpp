@@ -6,21 +6,21 @@
 
 #include "compiler/masking.hpp"
 #include "energy/params.hpp"
+#include "hiding/policy.hpp"
 #include "util/argparse.hpp"
 
 namespace emask::tools {
 
-inline const char* kPolicyChoices[] = {"original", "selective",
-                                       "naive_loadstore", "all_secure"};
-
-/// Maps a validated --policy choice string to the enum.
-inline compiler::Policy to_policy(const std::string& name) {
-  for (const compiler::Policy p :
-       {compiler::Policy::kOriginal, compiler::Policy::kSelective,
-        compiler::Policy::kNaiveLoadStore, compiler::Policy::kAllSecure}) {
-    if (name == compiler::policy_name(p)) return p;
+/// Maps a --policy value to a countermeasure: a masking name
+/// ("selective"), a hiding name ("wddl"), or a "masking+hiding" combo
+/// ("selective+wddl").
+inline hiding::Countermeasure to_countermeasure(const std::string& name) {
+  try {
+    return hiding::countermeasure_from_name(name);
+  } catch (const std::invalid_argument&) {
+    throw util::ArgError("--policy: invalid value '" + name + "' (accepted: " +
+                         hiding::countermeasure_axis_values() + ")");
   }
-  throw util::ArgError("--policy: invalid value '" + name + "'");
 }
 
 /// The calibrated smart-card parameters, with optional bus coupling (fF).
